@@ -1,0 +1,201 @@
+// Benchmarks regenerating every panel of the paper's Figure 5 (the paper's
+// entire evaluation; it has no numbered tables). Each benchmark runs the
+// corresponding experiment at the Quick scale — same sweep shape as the
+// paper's 100x100/0..3000 configuration, scaled to keep -bench runs in
+// seconds — and reports the headline quantity alongside ns/op. cmd/meshfig
+// regenerates the panels at the paper's full scale.
+//
+// Additional benchmarks cover the substrate hot paths (labeling, MCC
+// extraction, information propagation, single routings) and the ablations
+// called out in DESIGN.md (adaptive policy, border rule).
+package meshroute
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/eval"
+	"repro/internal/fault"
+	"repro/internal/info"
+	"repro/internal/labeling"
+	"repro/internal/mcc"
+	"repro/internal/mesh"
+	"repro/internal/routing"
+	"repro/internal/stats"
+)
+
+func lastAvg(tbl *stats.Table, col int, x int) float64 {
+	acc := tbl.Columns[col].Series.At(x)
+	if acc == nil {
+		return -1
+	}
+	return acc.Avg()
+}
+
+func quickCfg() eval.Config { return eval.Quick() }
+
+// BenchmarkFig5a regenerates Figure 5(a): percentage of disabled area.
+func BenchmarkFig5a(b *testing.B) {
+	cfg := quickCfg()
+	last := cfg.FaultCounts[len(cfg.FaultCounts)-1]
+	var tbl *stats.Table
+	for i := 0; i < b.N; i++ {
+		tbl = eval.Fig5a(cfg)
+	}
+	b.ReportMetric(lastAvg(tbl, 1, last), "disabled%@max-faults")
+}
+
+// BenchmarkFig5b regenerates Figure 5(b): number of MCCs.
+func BenchmarkFig5b(b *testing.B) {
+	cfg := quickCfg()
+	last := cfg.FaultCounts[len(cfg.FaultCounts)-1]
+	var tbl *stats.Table
+	for i := 0; i < b.N; i++ {
+		tbl = eval.Fig5b(cfg)
+	}
+	b.ReportMetric(lastAvg(tbl, 1, last), "MCCs@max-faults")
+}
+
+// BenchmarkFig5c regenerates Figure 5(c): propagation participants per
+// information model.
+func BenchmarkFig5c(b *testing.B) {
+	cfg := quickCfg()
+	last := cfg.FaultCounts[len(cfg.FaultCounts)-1]
+	var tbl *stats.Table
+	for i := 0; i < b.N; i++ {
+		tbl = eval.Fig5c(cfg)
+	}
+	b.ReportMetric(lastAvg(tbl, 3, last), "B2%@max-faults")
+}
+
+// BenchmarkFig5d regenerates Figure 5(d): shortest-path success rates.
+func BenchmarkFig5d(b *testing.B) {
+	cfg := quickCfg()
+	last := cfg.FaultCounts[len(cfg.FaultCounts)-1]
+	var tbl *stats.Table
+	for i := 0; i < b.N; i++ {
+		tbl = eval.Fig5d(cfg)
+	}
+	b.ReportMetric(lastAvg(tbl, 1, last), "RB2%@max-faults")
+}
+
+// BenchmarkFig5e regenerates Figure 5(e): relative error vs the optimum.
+func BenchmarkFig5e(b *testing.B) {
+	cfg := quickCfg()
+	last := cfg.FaultCounts[len(cfg.FaultCounts)-1]
+	var tbl *stats.Table
+	for i := 0; i < b.N; i++ {
+		tbl = eval.Fig5e(cfg)
+	}
+	b.ReportMetric(lastAvg(tbl, 0, last), "ecube-err@max-faults")
+}
+
+// --- substrate benchmarks ---
+
+func benchFaults(n int) *fault.Set {
+	m := mesh.Square(100)
+	return fault.Uniform{}.Generate(m, n, rand.New(rand.NewSource(1)))
+}
+
+// BenchmarkLabeling100x100 measures the MCC labeling fixpoint at the
+// paper's mesh scale and a mid-sweep density.
+func BenchmarkLabeling100x100(b *testing.B) {
+	f := benchFaults(1500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		labeling.Compute(f, labeling.BorderSafe)
+	}
+}
+
+// BenchmarkDistributedLabeling measures the message-passing labeling engine.
+func BenchmarkDistributedLabeling(b *testing.B) {
+	m := mesh.Square(40)
+	f := fault.Uniform{}.Generate(m, 240, rand.New(rand.NewSource(1)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		labeling.ComputeDistributed(f, labeling.BorderSafe)
+	}
+}
+
+// BenchmarkMCCExtract measures component extraction and indexing.
+func BenchmarkMCCExtract(b *testing.B) {
+	g := labeling.Compute(benchFaults(1500), labeling.BorderSafe)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mcc.Extract(g)
+	}
+}
+
+// BenchmarkInfoB2 measures the most expensive information model (boundary
+// walks plus forbidden-region flood).
+func BenchmarkInfoB2(b *testing.B) {
+	set := mcc.Extract(labeling.Compute(benchFaults(1500), labeling.BorderSafe))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		info.Build(info.B2, set)
+	}
+}
+
+// BenchmarkRouteRB2 measures one full RB2 routing on a 100x100 mesh with
+// 1500 faults (analysis cached, as in a deployed system).
+func BenchmarkRouteRB2(b *testing.B) {
+	f := benchFaults(1500)
+	a := routing.NewAnalysis(f)
+	r := rand.New(rand.NewSource(2))
+	pairs := make([][2]mesh.Coord, 64)
+	for i := range pairs {
+		for {
+			s := mesh.C(r.Intn(100), r.Intn(100))
+			d := mesh.C(r.Intn(100), r.Intn(100))
+			if !f.Faulty(s) && !f.Faulty(d) {
+				pairs[i] = [2]mesh.Coord{s, d}
+				break
+			}
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pairs[i%len(pairs)]
+		routing.Route(a, routing.RB2, p[0], p[1], routing.Options{})
+	}
+}
+
+// --- ablation benchmarks (design choices in DESIGN.md) ---
+
+// BenchmarkAblationPolicies compares adaptive selectors on the Figure 5(d)
+// success metric. Measured: diagonal balancing far outperforms the extreme
+// selectors at high density (see Policy docs) — the paper's "any fully
+// adaptive routing" hides a real design choice.
+func BenchmarkAblationPolicies(b *testing.B) {
+	for _, p := range []routing.Policy{routing.PolicyDiagonal, routing.PolicyXFirst, routing.PolicyYFirst} {
+		b.Run(p.String(), func(b *testing.B) {
+			cfg := quickCfg()
+			cfg.FaultCounts = []int{240}
+			cfg.Policy = p
+			last := 240
+			var tbl *stats.Table
+			for i := 0; i < b.N; i++ {
+				tbl = eval.Fig5d(cfg)
+			}
+			b.ReportMetric(lastAvg(tbl, 1, last), "RB2%")
+		})
+	}
+}
+
+// BenchmarkAblationBorderPolicy compares the labeling border rules: the
+// conservative border-faulty rule disables the whole mesh (see labeling
+// docs), which is why border-safe is the default.
+func BenchmarkAblationBorderPolicy(b *testing.B) {
+	for _, pol := range []labeling.BorderPolicy{labeling.BorderSafe, labeling.BorderFaulty} {
+		b.Run(pol.String(), func(b *testing.B) {
+			cfg := quickCfg()
+			cfg.FaultCounts = []int{240}
+			cfg.Border = pol
+			var tbl *stats.Table
+			for i := 0; i < b.N; i++ {
+				tbl = eval.Fig5a(cfg)
+			}
+			b.ReportMetric(lastAvg(tbl, 1, 240), "disabled%")
+		})
+	}
+}

@@ -1,0 +1,30 @@
+package meshroute_test
+
+import (
+	"fmt"
+
+	meshroute "repro"
+)
+
+// Example demonstrates the library's core loop: inject faults, route with
+// the paper's shortest-path algorithm, compare against the oracle.
+func Example() {
+	net := meshroute.NewSquare(12)
+	// An anti-diagonal fault line closes to a single 3x3 fault region under
+	// the MCC model.
+	for _, c := range []meshroute.Coord{
+		meshroute.C(4, 6), meshroute.C(5, 5), meshroute.C(6, 4),
+	} {
+		if err := net.AddFault(c); err != nil {
+			panic(err)
+		}
+	}
+	res, err := net.Route(meshroute.RB2, meshroute.C(5, 2), meshroute.C(5, 9))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("regions=%d hops=%d optimal=%d shortest=%v manhattan=%v\n",
+		len(net.MCCs()), res.Hops, res.Optimal, res.Shortest, res.ManhattanFeasible)
+	// Output:
+	// regions=1 hops=11 optimal=11 shortest=true manhattan=false
+}

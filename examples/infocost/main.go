@@ -1,0 +1,43 @@
+// Information-cost visualization: renders which nodes hold fault-region
+// information under each model — B1's thin boundary lines, B2's flooded
+// forbidden regions, B3's split boundaries — making Figure 5(c)'s cost
+// ordering visible. Run with: go run ./examples/infocost
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/fault"
+	"repro/internal/info"
+	"repro/internal/labeling"
+	"repro/internal/mcc"
+	"repro/internal/mesh"
+	"repro/internal/viz"
+)
+
+func main() {
+	m := mesh.Square(20)
+	// Two interlocked fault regions forming a type-I blocking sequence.
+	f := fault.FromCoords(m,
+		mesh.C(6, 8), mesh.C(7, 8), mesh.C(8, 8),
+		mesh.C(9, 11), mesh.C(10, 11), mesh.C(10, 12),
+	)
+	g := labeling.Compute(f, labeling.BorderSafe)
+	set := mcc.Extract(g)
+	fmt.Printf("%d faults -> %d MCCs; safe nodes: %d\n", f.Count(), set.Len(), g.SafeCount())
+
+	for _, model := range []info.Model{info.B1, info.B2, info.B3} {
+		st := info.Build(model, set)
+		v := viz.NewMap(m).Labels(g)
+		m.EachNode(func(c mesh.Coord) {
+			if st.HasInfo(c) {
+				v.Set(c, '+')
+			}
+		})
+		fmt.Printf("\n%v: %d participants, %d messages ('+' holds info):\n%s",
+			model, st.Participants(), st.Messages(), v.String())
+	}
+	fmt.Println("\nB2 floods the forbidden regions (highest cost, full knowledge);")
+	fmt.Println("B1 and B3 keep information on thin boundary lines (B3 adds the")
+	fmt.Println("split +X-side lines and succeeding-MCC relations).")
+}

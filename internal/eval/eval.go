@@ -1,0 +1,284 @@
+// Package eval regenerates the paper's evaluation — every panel of
+// Figure 5 — over the substrate packages. Each runner sweeps the number of
+// uniformly random faults on an n x n mesh, keeps only connected
+// configurations (the paper "only conduct[s] the test in the cases when the
+// entire mesh is not disconnected"), and aggregates the per-trial
+// quantities into the MAX and AVG series the figures plot.
+//
+// The runners return stats tables whose columns mirror the figure legends;
+// cmd/meshfig renders them and bench_test.go wraps each one in a
+// testing.B benchmark.
+package eval
+
+import (
+	"math/rand"
+
+	"repro/internal/fault"
+	"repro/internal/info"
+	"repro/internal/labeling"
+	"repro/internal/mcc"
+	"repro/internal/mesh"
+	"repro/internal/routing"
+	"repro/internal/spath"
+	"repro/internal/stats"
+)
+
+// Config parameterizes a sweep. The zero value is not usable; start from
+// Default or Quick.
+type Config struct {
+	// MeshSize is n for the n x n mesh (paper: 100).
+	MeshSize int
+	// FaultCounts are the sweep points (paper: 0..3000).
+	FaultCounts []int
+	// Trials is the number of random fault configurations per point.
+	Trials int
+	// Pairs is the number of routed source/destination pairs per
+	// configuration (Figures 5(d)/(e)).
+	Pairs int
+	// Seed fixes all randomness.
+	Seed int64
+	// Policy is the adaptive selector for the routing algorithms.
+	Policy routing.Policy
+	// Border selects the labeling border policy (ablation; default safe).
+	Border labeling.BorderPolicy
+}
+
+// Default reproduces the paper's scale: 100x100 mesh, faults 0..3000 in
+// steps of 150.
+func Default() Config {
+	cfg := Config{MeshSize: 100, Trials: 10, Pairs: 20, Seed: 1}
+	for n := 0; n <= 3000; n += 150 {
+		cfg.FaultCounts = append(cfg.FaultCounts, n)
+	}
+	return cfg
+}
+
+// Quick is a laptop-friendly smoke configuration used by tests and
+// benchmarks: same shape, smaller mesh, proportional fault counts.
+func Quick() Config {
+	cfg := Config{MeshSize: 40, Trials: 4, Pairs: 10, Seed: 1}
+	// 40x40 = 16% of the paper's node count; scale the sweep accordingly
+	// (0..480 faults keeps the same 0..30% density range).
+	for n := 0; n <= 480; n += 60 {
+		cfg.FaultCounts = append(cfg.FaultCounts, n)
+	}
+	return cfg
+}
+
+// rng derives a deterministic stream per (sweep point, trial).
+func (c Config) rng(faults, trial int) *rand.Rand {
+	return rand.New(rand.NewSource(c.Seed*1_000_003 + int64(faults)*1_009 + int64(trial)))
+}
+
+// connectedSet draws a fault configuration for one trial. Requiring the
+// *entire* surviving mesh to be one component is percolation-impossible
+// above ~15% density (isolated 2x2 pockets appear almost surely), yet the
+// paper sweeps to 30%; its "not disconnected" condition can only mean the
+// routed pairs are connected, which the pair sampler enforces via the BFS
+// oracle. Full-mesh connectivity is therefore only attempted at low
+// densities and the draw is used regardless.
+func (c Config) connectedSet(m mesh.Mesh, faults, trial int) (*fault.Set, *rand.Rand, bool) {
+	r := c.rng(faults, trial)
+	if faults*8 < m.Nodes() {
+		if f, ok := fault.GenerateConnected(fault.Uniform{}, m, faults, r, 10); ok {
+			return f, r, true
+		}
+	}
+	return fault.Uniform{}.Generate(m, faults, r), r, true
+}
+
+// Fig5a measures the percentage of disabled (unsafe) area to the total
+// area of the mesh: series MAX and AVG over trials per fault count.
+func Fig5a(cfg Config) *stats.Table {
+	series := stats.NewSeries("disabled%")
+	m := mesh.Square(cfg.MeshSize)
+	for _, n := range cfg.FaultCounts {
+		for trial := 0; trial < cfg.Trials; trial++ {
+			f, _, ok := cfg.connectedSet(m, n, trial)
+			if !ok {
+				continue
+			}
+			g := labeling.Compute(f, cfg.Border)
+			series.Add(n, 100*float64(g.UnsafeCount())/float64(m.Nodes()))
+		}
+	}
+	return &stats.Table{
+		XLabel:  "faults",
+		Columns: []stats.Column{{Series: series, Reduction: stats.Max}, {Series: series, Reduction: stats.Avg}},
+	}
+}
+
+// Fig5b measures the number of MCCs per fault count (MAX and AVG).
+func Fig5b(cfg Config) *stats.Table {
+	series := stats.NewSeries("MCCs")
+	m := mesh.Square(cfg.MeshSize)
+	for _, n := range cfg.FaultCounts {
+		for trial := 0; trial < cfg.Trials; trial++ {
+			f, _, ok := cfg.connectedSet(m, n, trial)
+			if !ok {
+				continue
+			}
+			set := mcc.Extract(labeling.Compute(f, cfg.Border))
+			series.Add(n, float64(set.Len()))
+		}
+	}
+	return &stats.Table{
+		XLabel:  "faults",
+		Columns: []stats.Column{{Series: series, Reduction: stats.Max}, {Series: series, Reduction: stats.Avg}},
+	}
+}
+
+// Fig5c measures the percentage of nodes involved in information
+// propagation to the total safe nodes, for models B1, B2, and B3
+// (MAX and AVG each).
+func Fig5c(cfg Config) *stats.Table {
+	models := []info.Model{info.B1, info.B2, info.B3}
+	series := make([]*stats.Series, len(models))
+	for i, mod := range models {
+		series[i] = stats.NewSeries(mod.String())
+	}
+	m := mesh.Square(cfg.MeshSize)
+	for _, n := range cfg.FaultCounts {
+		for trial := 0; trial < cfg.Trials; trial++ {
+			f, _, ok := cfg.connectedSet(m, n, trial)
+			if !ok {
+				continue
+			}
+			g := labeling.Compute(f, cfg.Border)
+			if g.SafeCount() == 0 {
+				continue
+			}
+			set := mcc.Extract(g)
+			for i, mod := range models {
+				st := info.Build(mod, set)
+				series[i].Add(n, 100*float64(st.Participants())/float64(g.SafeCount()))
+			}
+		}
+	}
+	var cols []stats.Column
+	for _, s := range series {
+		cols = append(cols, stats.Column{Series: s, Reduction: stats.Max}, stats.Column{Series: s, Reduction: stats.Avg})
+	}
+	return &stats.Table{XLabel: "faults", Columns: cols}
+}
+
+// pairSampler draws random pairs matching the paper's setup: both
+// endpoints safe (in the travel orientation), destination reachable.
+type pairSampler struct {
+	m mesh.Mesh
+	a *routing.Analysis
+	r *rand.Rand
+}
+
+func (p pairSampler) draw() (s, d mesh.Coord, optimal int32, ok bool) {
+	for attempt := 0; attempt < 200; attempt++ {
+		s = mesh.C(p.r.Intn(p.m.Width()), p.r.Intn(p.m.Height()))
+		d = mesh.C(p.r.Intn(p.m.Width()), p.r.Intn(p.m.Height()))
+		if s == d {
+			continue
+		}
+		o := mesh.OrientFor(s, d)
+		g := p.a.Grid(o)
+		if !g.Safe(o.To(p.m, s)) || !g.Safe(o.To(p.m, d)) {
+			continue
+		}
+		optimal = spath.Distance(p.a.Faults(), s, d)
+		if optimal >= spath.Infinite {
+			continue
+		}
+		return s, d, optimal, true
+	}
+	return s, d, 0, false
+}
+
+// routedFigures runs the routing sweep shared by Figures 5(d) and 5(e),
+// returning success-rate and relative-error series per algorithm.
+func routedFigures(cfg Config, algos []routing.Algo) (success, relerr, delivered map[routing.Algo]*stats.Series) {
+	success = map[routing.Algo]*stats.Series{}
+	relerr = map[routing.Algo]*stats.Series{}
+	delivered = map[routing.Algo]*stats.Series{}
+	for _, al := range algos {
+		success[al] = stats.NewSeries(al.String())
+		relerr[al] = stats.NewSeries(al.String())
+		delivered[al] = stats.NewSeries(al.String())
+	}
+	m := mesh.Square(cfg.MeshSize)
+	opt := routing.Options{Policy: cfg.Policy}
+	for _, n := range cfg.FaultCounts {
+		for trial := 0; trial < cfg.Trials; trial++ {
+			f, r, ok := cfg.connectedSet(m, n, trial)
+			if !ok {
+				continue
+			}
+			a := routing.NewAnalysisWithPolicy(f, cfg.Border)
+			sampler := pairSampler{m: m, a: a, r: r}
+			for i := 0; i < cfg.Pairs; i++ {
+				s, d, optimal, ok := sampler.draw()
+				if !ok {
+					break
+				}
+				for _, al := range algos {
+					res := routing.Route(a, al, s, d, opt)
+					if !res.Delivered {
+						// Undelivered: counts against the success rate and
+						// the delivery series; excluded from path-length
+						// averages (no length to compare).
+						success[al].Add(n, 0)
+						delivered[al].Add(n, 0)
+						continue
+					}
+					delivered[al].Add(n, 100)
+					if int32(res.Hops) == optimal {
+						success[al].Add(n, 100)
+					} else {
+						success[al].Add(n, 0)
+					}
+					if optimal > 0 {
+						relerr[al].Add(n, float64(res.Hops-int(optimal))/float64(optimal))
+					}
+				}
+			}
+		}
+	}
+	return success, relerr, delivered
+}
+
+// Fig5d measures the percentage of routings that achieve the shortest path
+// for RB1, RB2, and RB3.
+func Fig5d(cfg Config) *stats.Table {
+	success, _, _ := routedFigures(cfg, []routing.Algo{routing.RB1, routing.RB2, routing.RB3})
+	return &stats.Table{
+		XLabel: "faults",
+		Columns: []stats.Column{
+			{Series: success[routing.RB1], Reduction: stats.Avg},
+			{Series: success[routing.RB2], Reduction: stats.Avg},
+			{Series: success[routing.RB3], Reduction: stats.Avg},
+		},
+	}
+}
+
+// Fig5e measures the relative error of the achieved path length to the
+// shortest path for E-cube, RB1, RB2, and RB3.
+func Fig5e(cfg Config) *stats.Table {
+	algos := []routing.Algo{routing.Ecube, routing.RB1, routing.RB2, routing.RB3}
+	_, relerr, _ := routedFigures(cfg, algos)
+	var cols []stats.Column
+	for _, al := range algos {
+		cols = append(cols, stats.Column{Series: relerr[al], Reduction: stats.Avg})
+	}
+	return &stats.Table{XLabel: "faults", Columns: cols, Digits: 4}
+}
+
+// DeliveryRates is an auxiliary panel (not in the paper) reporting the
+// percentage of delivered walks per algorithm; the paper assumes delivery
+// always succeeds, and this table quantifies how close the implementation
+// comes (border-clipped fault regions are the gap; see EXPERIMENTS.md).
+func DeliveryRates(cfg Config) *stats.Table {
+	algos := []routing.Algo{routing.Ecube, routing.RB1, routing.RB2, routing.RB3}
+	_, _, delivered := routedFigures(cfg, algos)
+	var cols []stats.Column
+	for _, al := range algos {
+		cols = append(cols, stats.Column{Series: delivered[al], Reduction: stats.Avg})
+	}
+	return &stats.Table{XLabel: "faults", Columns: cols}
+}

@@ -1,0 +1,148 @@
+// Package fault models node failures in a 2-D mesh and provides the
+// workload generators used by the paper's evaluation: uniformly random
+// fault placement (the Figure 5 configuration) plus clustered, rectangular
+// block, and link-fault workloads for the examples and ablation studies.
+//
+// Link faults are handled the way the paper prescribes: "link faults can be
+// treated as node faults by disabling the corresponding adjacent nodes".
+package fault
+
+import (
+	"fmt"
+
+	"repro/internal/mesh"
+)
+
+// Set is the collection of faulty nodes of a mesh. The zero value is not
+// usable; construct with NewSet or a generator.
+type Set struct {
+	m      mesh.Mesh
+	faulty []bool
+	count  int
+}
+
+// NewSet returns an empty fault set over m.
+func NewSet(m mesh.Mesh) *Set {
+	return &Set{m: m, faulty: make([]bool, m.Nodes())}
+}
+
+// Mesh returns the mesh this set is defined over.
+func (s *Set) Mesh() mesh.Mesh { return s.m }
+
+// Add marks c faulty. Adding an already-faulty node is a no-op, so
+// generators may sample with replacement.
+func (s *Set) Add(c mesh.Coord) {
+	idx := s.m.Index(c)
+	if !s.faulty[idx] {
+		s.faulty[idx] = true
+		s.count++
+	}
+}
+
+// Remove clears the fault at c (used by repair scenarios in the examples).
+func (s *Set) Remove(c mesh.Coord) {
+	idx := s.m.Index(c)
+	if s.faulty[idx] {
+		s.faulty[idx] = false
+		s.count--
+	}
+}
+
+// Faulty reports whether c is faulty. Coordinates outside the mesh are not
+// faulty (the mesh border is handled by the labeling policy, not here).
+func (s *Set) Faulty(c mesh.Coord) bool {
+	if !s.m.In(c) {
+		return false
+	}
+	return s.faulty[s.m.Index(c)]
+}
+
+// Count returns the number of faulty nodes.
+func (s *Set) Count() int { return s.count }
+
+// Coords returns the faulty coordinates in row-major order.
+func (s *Set) Coords() []mesh.Coord {
+	out := make([]mesh.Coord, 0, s.count)
+	for idx, f := range s.faulty {
+		if f {
+			out = append(out, s.m.CoordOf(idx))
+		}
+	}
+	return out
+}
+
+// Clone returns an independent copy of the set.
+func (s *Set) Clone() *Set {
+	cp := &Set{m: s.m, faulty: make([]bool, len(s.faulty)), count: s.count}
+	copy(cp.faulty, s.faulty)
+	return cp
+}
+
+// Mirror returns the fault set transformed into the canonical frame of
+// orientation o. Per-orientation analyses (labeling, MCC geometry) operate
+// on the mirrored set so that all algorithm code handles only the paper's
+// canonical +X/+Y travel case.
+func (s *Set) Mirror(o mesh.Orient) *Set {
+	if o == mesh.NE {
+		return s
+	}
+	out := NewSet(s.m)
+	for idx, f := range s.faulty {
+		if f {
+			out.Add(o.To(s.m, s.m.CoordOf(idx)))
+		}
+	}
+	return out
+}
+
+// Connected reports whether the non-faulty nodes form a single connected
+// component. The paper "only conduct[s] the test in the cases when the
+// entire mesh is not disconnected by faults"; generators use this for
+// rejection sampling.
+func (s *Set) Connected() bool {
+	total := s.m.Nodes() - s.count
+	if total <= 0 {
+		return false
+	}
+	start := -1
+	for idx, f := range s.faulty {
+		if !f {
+			start = idx
+			break
+		}
+	}
+	visited := make([]bool, s.m.Nodes())
+	queue := make([]int, 0, total)
+	queue = append(queue, start)
+	visited[start] = true
+	seen := 1
+	var nbuf [4]mesh.Coord
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, n := range s.m.Neighbors(s.m.CoordOf(cur), nbuf[:0]) {
+			ni := s.m.Index(n)
+			if !visited[ni] && !s.faulty[ni] {
+				visited[ni] = true
+				seen++
+				queue = append(queue, ni)
+			}
+		}
+	}
+	return seen == total
+}
+
+// String summarizes the set for logs.
+func (s *Set) String() string {
+	return fmt.Sprintf("%d faults on %v", s.count, s.m)
+}
+
+// FromCoords builds a set from an explicit fault list; duplicates are
+// tolerated. Useful for table-driven tests and examples.
+func FromCoords(m mesh.Mesh, coords ...mesh.Coord) *Set {
+	s := NewSet(m)
+	for _, c := range coords {
+		s.Add(c)
+	}
+	return s
+}

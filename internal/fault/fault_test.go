@@ -1,0 +1,238 @@
+package fault
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/mesh"
+)
+
+func TestSetAddRemoveCount(t *testing.T) {
+	m := mesh.Square(10)
+	s := NewSet(m)
+	if s.Count() != 0 {
+		t.Fatal("new set must be empty")
+	}
+	s.Add(mesh.C(3, 3))
+	s.Add(mesh.C(3, 3)) // duplicate: no-op
+	s.Add(mesh.C(4, 4))
+	if s.Count() != 2 {
+		t.Fatalf("Count = %d, want 2", s.Count())
+	}
+	if !s.Faulty(mesh.C(3, 3)) || s.Faulty(mesh.C(0, 0)) {
+		t.Error("Faulty membership wrong")
+	}
+	s.Remove(mesh.C(3, 3))
+	s.Remove(mesh.C(3, 3)) // duplicate remove: no-op
+	if s.Count() != 1 || s.Faulty(mesh.C(3, 3)) {
+		t.Error("Remove failed")
+	}
+}
+
+func TestFaultyOutsideMeshIsFalse(t *testing.T) {
+	s := NewSet(mesh.Square(5))
+	for _, c := range []mesh.Coord{mesh.C(-1, 0), mesh.C(5, 0), mesh.C(0, -1), mesh.C(2, 5)} {
+		if s.Faulty(c) {
+			t.Errorf("out-of-mesh %v reported faulty", c)
+		}
+	}
+}
+
+func TestCoordsRowMajorAndClone(t *testing.T) {
+	m := mesh.Square(6)
+	s := FromCoords(m, mesh.C(4, 2), mesh.C(1, 1), mesh.C(2, 1))
+	got := s.Coords()
+	want := []mesh.Coord{mesh.C(1, 1), mesh.C(2, 1), mesh.C(4, 2)}
+	if len(got) != len(want) {
+		t.Fatalf("Coords len = %d", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Coords[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	cp := s.Clone()
+	cp.Add(mesh.C(0, 0))
+	if s.Faulty(mesh.C(0, 0)) {
+		t.Error("Clone shares storage with original")
+	}
+	if cp.Count() != s.Count()+1 {
+		t.Error("Clone count wrong")
+	}
+}
+
+func TestMirror(t *testing.T) {
+	m := mesh.Square(10)
+	s := FromCoords(m, mesh.C(2, 3))
+	for _, o := range mesh.Orients {
+		ms := s.Mirror(o)
+		if ms.Count() != 1 {
+			t.Fatalf("orient %v: count = %d", o, ms.Count())
+		}
+		want := o.To(m, mesh.C(2, 3))
+		if !ms.Faulty(want) {
+			t.Errorf("orient %v: expected fault at %v", o, want)
+		}
+		// Mirroring twice returns the original set.
+		back := ms.Mirror(o)
+		if !back.Faulty(mesh.C(2, 3)) || back.Count() != 1 {
+			t.Errorf("orient %v: double mirror is not identity", o)
+		}
+	}
+	if s.Mirror(mesh.NE) != s {
+		t.Error("NE mirror should return the identical set (no copy)")
+	}
+}
+
+func TestConnected(t *testing.T) {
+	m := mesh.Square(5)
+	s := NewSet(m)
+	if !s.Connected() {
+		t.Error("fault-free mesh must be connected")
+	}
+	// A full column wall disconnects the mesh.
+	wall := FromCoords(m, mesh.C(2, 0), mesh.C(2, 1), mesh.C(2, 2), mesh.C(2, 3), mesh.C(2, 4))
+	if wall.Connected() {
+		t.Error("column wall must disconnect")
+	}
+	// A wall with one gap stays connected.
+	gap := FromCoords(m, mesh.C(2, 0), mesh.C(2, 1), mesh.C(2, 3), mesh.C(2, 4))
+	if !gap.Connected() {
+		t.Error("wall with gap must stay connected")
+	}
+	// All nodes faulty: not connected by definition.
+	all := NewSet(mesh.Square(2))
+	for _, c := range []mesh.Coord{mesh.C(0, 0), mesh.C(0, 1), mesh.C(1, 0), mesh.C(1, 1)} {
+		all.Add(c)
+	}
+	if all.Connected() {
+		t.Error("fully faulty mesh must not be connected")
+	}
+}
+
+func TestUniformGenerateExactCount(t *testing.T) {
+	m := mesh.Square(20)
+	r := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 17, 100, 399, 400, 500} {
+		s := Uniform{}.Generate(m, n, r)
+		want := n
+		if want > m.Nodes() {
+			want = m.Nodes()
+		}
+		if s.Count() != want {
+			t.Errorf("Uniform(%d) produced %d faults, want %d", n, s.Count(), want)
+		}
+	}
+}
+
+func TestUniformDeterministicPerSeed(t *testing.T) {
+	m := mesh.Square(30)
+	a := Uniform{}.Generate(m, 100, rand.New(rand.NewSource(7)))
+	b := Uniform{}.Generate(m, 100, rand.New(rand.NewSource(7)))
+	ca, cb := a.Coords(), b.Coords()
+	for i := range ca {
+		if ca[i] != cb[i] {
+			t.Fatal("same seed produced different fault sets")
+		}
+	}
+	c := Uniform{}.Generate(m, 100, rand.New(rand.NewSource(8)))
+	same := true
+	cc := c.Coords()
+	for i := range ca {
+		if ca[i] != cc[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical fault sets (suspicious)")
+	}
+}
+
+func TestClusteredGenerate(t *testing.T) {
+	m := mesh.Square(30)
+	r := rand.New(rand.NewSource(2))
+	s := Clustered{MeanClusterSize: 5}.Generate(m, 120, r)
+	if s.Count() != 120 {
+		t.Fatalf("Clustered produced %d faults, want 120", s.Count())
+	}
+	// Clustered faults should have far more faulty-faulty adjacencies than
+	// uniform placement at the same density.
+	adj := func(s *Set) int {
+		n := 0
+		var nbuf [4]mesh.Coord
+		for _, c := range s.Coords() {
+			for _, nb := range m.Neighbors(c, nbuf[:0]) {
+				if s.Faulty(nb) {
+					n++
+				}
+			}
+		}
+		return n
+	}
+	u := Uniform{}.Generate(m, 120, rand.New(rand.NewSource(2)))
+	if adj(s) <= adj(u) {
+		t.Errorf("clustered adjacency %d not above uniform %d", adj(s), adj(u))
+	}
+}
+
+func TestBlocksGenerate(t *testing.T) {
+	m := mesh.Square(25)
+	s := Blocks{MaxSide: 4}.Generate(m, 60, rand.New(rand.NewSource(3)))
+	if s.Count() != 60 {
+		t.Fatalf("Blocks produced %d faults, want 60", s.Count())
+	}
+}
+
+func TestGeneratorNames(t *testing.T) {
+	if (Uniform{}).Name() != "uniform" || (Clustered{}).Name() != "clustered" || (Blocks{}).Name() != "blocks" {
+		t.Error("generator names changed; experiment output depends on them")
+	}
+}
+
+func TestDisableLinks(t *testing.T) {
+	m := mesh.Square(8)
+	s := NewSet(m)
+	err := DisableLinks(s, []Link{
+		{A: mesh.C(2, 2), B: mesh.C(3, 2)},
+		{A: mesh.C(5, 5), B: mesh.C(5, 6)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []mesh.Coord{mesh.C(2, 2), mesh.C(3, 2), mesh.C(5, 5), mesh.C(5, 6)} {
+		if !s.Faulty(c) {
+			t.Errorf("link endpoint %v not disabled", c)
+		}
+	}
+	if err := DisableLinks(s, []Link{{A: mesh.C(0, 0), B: mesh.C(2, 0)}}); err == nil {
+		t.Error("non-adjacent link accepted")
+	}
+	if err := DisableLinks(s, []Link{{A: mesh.C(7, 7), B: mesh.C(8, 7)}}); err == nil {
+		t.Error("out-of-mesh link accepted")
+	}
+}
+
+func TestGenerateConnected(t *testing.T) {
+	m := mesh.Square(15)
+	r := rand.New(rand.NewSource(11))
+	s, ok := GenerateConnected(Uniform{}, m, 30, r, 20)
+	if !ok {
+		t.Fatal("could not generate a connected 15x15 mesh with 30 faults")
+	}
+	if !s.Connected() {
+		t.Fatal("GenerateConnected returned a disconnected set with ok=true")
+	}
+	// Impossible case: every node faulty can never be connected.
+	_, ok = GenerateConnected(Uniform{}, m, m.Nodes(), r, 3)
+	if ok {
+		t.Error("fully faulty mesh reported connected")
+	}
+}
+
+func TestSetString(t *testing.T) {
+	s := FromCoords(mesh.Square(5), mesh.C(1, 1))
+	if s.String() != "1 faults on 5x5 mesh" {
+		t.Errorf("String = %q", s.String())
+	}
+}

@@ -1,0 +1,180 @@
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/mesh"
+)
+
+// Generator produces fault sets for a mesh. Implementations must be
+// deterministic given the *rand.Rand they are handed.
+type Generator interface {
+	// Generate returns a fault set with (about) count faulty nodes.
+	Generate(m mesh.Mesh, count int, r *rand.Rand) *Set
+	// Name identifies the workload in experiment output.
+	Name() string
+}
+
+// Uniform places faults uniformly at random without replacement — the
+// workload of the paper's entire Figure 5 evaluation ("numbers of faulty
+// nodes randomly generated" on a 100x100 mesh).
+type Uniform struct{}
+
+// Name implements Generator.
+func (Uniform) Name() string { return "uniform" }
+
+// Generate implements Generator. count is clamped to the mesh size.
+func (Uniform) Generate(m mesh.Mesh, count int, r *rand.Rand) *Set {
+	if count > m.Nodes() {
+		count = m.Nodes()
+	}
+	s := NewSet(m)
+	// Partial Fisher-Yates over node indices: exact count, O(nodes) memory,
+	// no rejection loop even at high densities.
+	perm := make([]int, m.Nodes())
+	for i := range perm {
+		perm[i] = i
+	}
+	for i := 0; i < count; i++ {
+		j := i + r.Intn(len(perm)-i)
+		perm[i], perm[j] = perm[j], perm[i]
+		s.Add(m.CoordOf(perm[i]))
+	}
+	return s
+}
+
+// Clustered grows faults in spatially correlated clumps, modeling the
+// "complex nature of networks ... vulnerable to disturbances" scenario in
+// the introduction: a failure event (power, cooling, radiation) usually
+// takes down a neighborhood, not an isolated node.
+type Clustered struct {
+	// MeanClusterSize is the average nodes per cluster (default 8).
+	MeanClusterSize int
+}
+
+// Name implements Generator.
+func (g Clustered) Name() string { return "clustered" }
+
+// Generate implements Generator.
+func (g Clustered) Generate(m mesh.Mesh, count int, r *rand.Rand) *Set {
+	mean := g.MeanClusterSize
+	if mean <= 0 {
+		mean = 8
+	}
+	if count > m.Nodes() {
+		count = m.Nodes()
+	}
+	s := NewSet(m)
+	var nbuf [4]mesh.Coord
+	for s.Count() < count {
+		// Seed a new cluster at a random healthy node.
+		seed := mesh.C(r.Intn(m.Width()), r.Intn(m.Height()))
+		if s.Faulty(seed) {
+			continue
+		}
+		size := 1 + r.Intn(2*mean-1) // uniform on [1, 2*mean-1], mean ~= mean
+		frontier := []mesh.Coord{seed}
+		s.Add(seed)
+		for grown := 1; grown < size && s.Count() < count && len(frontier) > 0; {
+			// Pick a random frontier node and spread to a random neighbor.
+			fi := r.Intn(len(frontier))
+			c := frontier[fi]
+			ns := m.Neighbors(c, nbuf[:0])
+			spread := false
+			for _, off := range r.Perm(len(ns)) {
+				if !s.Faulty(ns[off]) {
+					s.Add(ns[off])
+					frontier = append(frontier, ns[off])
+					grown++
+					spread = true
+					break
+				}
+			}
+			if !spread {
+				frontier[fi] = frontier[len(frontier)-1]
+				frontier = frontier[:len(frontier)-1]
+			}
+		}
+	}
+	return s
+}
+
+// Blocks places a number of solid rectangular fault regions, the classic
+// workload of the rectangular-faulty-block literature the MCC model
+// refines. Useful for showing where MCC regions and rectangular blocks
+// coincide and where MCC is strictly smaller.
+type Blocks struct {
+	// MaxSide bounds each block's width and height (default 6).
+	MaxSide int
+}
+
+// Name implements Generator.
+func (g Blocks) Name() string { return "blocks" }
+
+// Generate implements Generator.
+func (g Blocks) Generate(m mesh.Mesh, count int, r *rand.Rand) *Set {
+	maxSide := g.MaxSide
+	if maxSide <= 0 {
+		maxSide = 6
+	}
+	if count > m.Nodes() {
+		count = m.Nodes()
+	}
+	s := NewSet(m)
+	for s.Count() < count {
+		w := 1 + r.Intn(maxSide)
+		h := 1 + r.Intn(maxSide)
+		x := r.Intn(m.Width())
+		y := r.Intn(m.Height())
+		rect := mesh.Rect{X0: x, Y0: y, X1: x + w - 1, Y1: y + h - 1}.Clip(m)
+		rect.Each(func(c mesh.Coord) {
+			if s.Count() < count {
+				s.Add(c)
+			}
+		})
+	}
+	return s
+}
+
+// Link represents a failed bidirectional mesh link between two adjacent
+// nodes.
+type Link struct {
+	A, B mesh.Coord
+}
+
+// DisableLinks converts link faults to node faults per the paper's rule
+// ("link faults can be treated as node faults by disabling the
+// corresponding adjacent nodes") and adds them to s. It returns an error if
+// any link's endpoints are not mesh-adjacent.
+func DisableLinks(s *Set, links []Link) error {
+	for _, l := range links {
+		if _, ok := l.A.DirTo(l.B); !ok {
+			return fmt.Errorf("fault: link %v-%v endpoints are not adjacent", l.A, l.B)
+		}
+		if !s.Mesh().In(l.A) || !s.Mesh().In(l.B) {
+			return fmt.Errorf("fault: link %v-%v outside %v", l.A, l.B, s.Mesh())
+		}
+		s.Add(l.A)
+		s.Add(l.B)
+	}
+	return nil
+}
+
+// GenerateConnected draws fault sets from g until the surviving nodes form
+// a connected network, matching the paper's rejection rule for its
+// simulations. It gives up after maxTries and returns the last attempt with
+// ok=false, so dense sweeps can record the rejection instead of spinning.
+func GenerateConnected(g Generator, m mesh.Mesh, count int, r *rand.Rand, maxTries int) (*Set, bool) {
+	if maxTries <= 0 {
+		maxTries = 50
+	}
+	var last *Set
+	for try := 0; try < maxTries; try++ {
+		last = g.Generate(m, count, r)
+		if last.Connected() {
+			return last, true
+		}
+	}
+	return last, false
+}

@@ -1,0 +1,133 @@
+package info
+
+import (
+	"repro/internal/mcc"
+	"repro/internal/mesh"
+)
+
+// This file implements Algorithm 4 step 5: under model B2, the triples
+// deposited along the -X and +X boundaries of a component broadcast through
+// the forbidden region between them, so that every node inside knows
+// (F, R_Y, R'_Y). Nodes do not accept duplicates, so each node relays a
+// given component's triple at most once; the flood is a BFS over mesh links
+// restricted to the (merged) forbidden region.
+//
+// The relay predicate is locally decidable: the message carries the shape
+// of the source component and of the components whose regions merged into
+// it during boundary construction (the "joined" list); a node relays iff it
+// is safe and lies inside the extended forbidden region of any of them. The
+// extended region closes the paper's "area between these two boundaries":
+// it includes the boundary-line columns x_c and x_{c'} below the respective
+// corners, unlike the exact blocking regions of package mcc (see the
+// comment there for why routing predicates must exclude those columns).
+
+// inExtendedForbiddenY reports whether n lies in the column band
+// [x_c, x_{c'}] at or below the region's upper profile: under the corner on
+// the x_c column, strictly under the bottom staircase across the span, and
+// at or below the top staircase's last row on the x_{c'} column.
+func inExtendedForbiddenY(f *mcc.MCC, n mesh.Coord) bool {
+	switch {
+	case n.X == f.X0-1:
+		return n.Y <= f.ColLo[0]-1
+	case n.X >= f.X0 && n.X <= f.X1:
+		return n.Y < f.ColLo[n.X-f.X0]
+	case n.X == f.X1+1:
+		return n.Y <= f.ColHi[len(f.ColHi)-1]
+	}
+	return false
+}
+
+// inExtendedForbiddenX is the transpose for +X blocking regions.
+func inExtendedForbiddenX(f *mcc.MCC, n mesh.Coord) bool {
+	switch {
+	case n.Y == f.Y0-1:
+		return n.X <= f.RowLo[0]-1
+	case n.Y >= f.Y0 && n.Y <= f.Y1:
+		return n.X < f.RowLo[n.Y-f.Y0]
+	case n.Y == f.Y1+1:
+		return n.X <= f.RowHi[len(f.RowHi)-1]
+	}
+	return false
+}
+
+// floodForbiddenY broadcasts f's R_Y triples through the forbidden region
+// of f merged with the regions of the joined components.
+func (s *Store) floodForbiddenY(f *mcc.MCC, joined []*mcc.MCC) {
+	region := func(n mesh.Coord) bool {
+		if inExtendedForbiddenY(f, n) {
+			return true
+		}
+		for _, g := range joined {
+			if inExtendedForbiddenY(g, n) {
+				return true
+			}
+		}
+		return false
+	}
+	s.flood(region, Triple{F: f, Kind: RYMinusX}, Triple{F: f, Kind: RYPlusX})
+}
+
+// floodForbiddenX broadcasts f's R_X triples through the transposed region.
+func (s *Store) floodForbiddenX(f *mcc.MCC, joined []*mcc.MCC) {
+	region := func(n mesh.Coord) bool {
+		if inExtendedForbiddenX(f, n) {
+			return true
+		}
+		for _, g := range joined {
+			if inExtendedForbiddenX(g, n) {
+				return true
+			}
+		}
+		return false
+	}
+	s.flood(region, Triple{F: f, Kind: RXMinusY}, Triple{F: f, Kind: RXPlusY})
+}
+
+// flood seeds from every node already holding one of the given triples and
+// relays through safe region nodes, depositing both triples (the flooded
+// node learns the full identified information). Every link crossing is
+// charged, including rejected duplicates arriving at already-informed
+// nodes, matching how a real broadcast spends messages.
+func (s *Store) flood(region func(mesh.Coord) bool, ts ...Triple) {
+	var frontier []mesh.Coord
+	seeded := make(map[int]bool)
+	for idx := range s.triples {
+		for _, have := range s.triples[idx] {
+			for _, t := range ts {
+				if have == t {
+					c := s.m.CoordOf(idx)
+					if !seeded[idx] {
+						seeded[idx] = true
+						frontier = append(frontier, c)
+						// The flood brings the fully identified information
+						// to the boundary nodes too: a -X boundary node
+						// learns the +X side's triple and vice versa.
+						for _, dep := range ts {
+							s.deposit(c, dep)
+						}
+					}
+				}
+			}
+		}
+	}
+	var nbuf [4]mesh.Coord
+	for len(frontier) > 0 {
+		cur := frontier[0]
+		frontier = frontier[1:]
+		for _, n := range s.m.Neighbors(cur, nbuf[:0]) {
+			if !region(n) || !s.grid.Safe(n) {
+				continue
+			}
+			idx := s.m.Index(n)
+			s.visit(n, true)
+			if seeded[idx] {
+				continue // duplicate rejected; message still spent
+			}
+			seeded[idx] = true
+			for _, t := range ts {
+				s.deposit(n, t)
+			}
+			frontier = append(frontier, n)
+		}
+	}
+}

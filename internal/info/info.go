@@ -1,0 +1,257 @@
+// Package info implements the paper's three fault-information models:
+//
+//   - B1 (Algorithm 1, from [5]): per MCC, two identification messages walk
+//     the component's edge ring from the initialization corner to the
+//     opposite corner and back; then boundary lines — the -X boundary south
+//     along x = x_c and the -Y boundary west along y = y_c — carry the
+//     triple (F, R, R') node by node, turning to join the boundaries of
+//     other MCCs they intersect.
+//   - B2 (Algorithm 4): B1 plus the +X boundary south along x = x_{c'} (and
+//     its transposed +Y boundary), plus a flood that fills the forbidden
+//     region between the two boundaries so every node inside can make the
+//     globally correct detour decision.
+//   - B3 (Algorithm 6): boundary lines only, but at each intersection with
+//     another MCC the propagation splits around both sides of the
+//     intersected component, and succeeding-MCC relations (Equation 4's
+//     input) are recorded so boundary nodes can reconstruct blocking
+//     sequences (Equation 5) without any flood.
+//
+// The propagation engine moves messages hop by hop along mesh links and
+// accounts for exactly what Figure 5(c) measures: the set of nodes involved
+// and the number of link crossings. Walk turn decisions use only what a
+// real node knows locally — its own coordinate, the carried shape, and
+// neighbor status — but are executed centrally for determinism; the
+// justification for each turn's local computability is given inline.
+//
+// Deposited information is exposed through Store, which the routing
+// algorithms query; which nodes hold which triples is the entire functional
+// difference between RB1, RB2, and RB3.
+package info
+
+import (
+	"fmt"
+
+	"repro/internal/labeling"
+	"repro/internal/mcc"
+	"repro/internal/mesh"
+)
+
+// Model names an information model.
+type Model uint8
+
+// The three information models of the paper.
+const (
+	// B1 is the boundary model of [5]: -X and -Y boundary lines only.
+	B1 Model = iota
+	// B2 is the paper's full model: both boundary pairs plus the forbidden
+	// region flood.
+	B2
+	// B3 is the paper's practical extension: split boundary propagation
+	// with relation records, no flood.
+	B3
+)
+
+// String names the model as in the paper.
+func (m Model) String() string {
+	switch m {
+	case B1:
+		return "B1"
+	case B2:
+		return "B2"
+	case B3:
+		return "B3"
+	}
+	return fmt.Sprintf("Model(%d)", uint8(m))
+}
+
+// Kind identifies which region pair a stored triple describes and which
+// boundary carried it.
+type Kind uint8
+
+// Triple kinds. The Y kinds guard the +Y direction (type-I, forbidden
+// region below the component); the X kinds guard +X (type-II, forbidden
+// region west of it).
+const (
+	// RYMinusX: (F, R_Y, R'_Y) carried by the -X boundary (west side).
+	RYMinusX Kind = iota
+	// RYPlusX: (F, R_Y, R'_Y) carried by the +X boundary (east side).
+	RYPlusX
+	// RXMinusY: (F, R_X, R'_X) carried by the -Y boundary (south side).
+	RXMinusY
+	// RXPlusY: (F, R_X, R'_X) carried by the +Y boundary (north side).
+	RXPlusY
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case RYMinusX:
+		return "RY/-X"
+	case RYPlusX:
+		return "RY/+X"
+	case RXMinusY:
+		return "RX/-Y"
+	case RXPlusY:
+		return "RX/+Y"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// GuardsY reports whether the triple's regions concern +Y blocking.
+func (k Kind) GuardsY() bool { return k == RYMinusX || k == RYPlusX }
+
+// Triple is one unit of boundary information stored at a node: the shape of
+// an MCC together with which of its region pairs the carrying boundary
+// describes. The regions themselves are derived from the shape on demand
+// (mcc.InForbiddenY etc.), exactly as a real node would compute them from
+// the received shape description.
+type Triple struct {
+	F    *mcc.MCC
+	Kind Kind
+}
+
+// Relation is a succeeding-MCC record of model B3: Pred precedes Succ in a
+// type-I (or, with TypeII set, type-II) blocking sequence candidate.
+type Relation struct {
+	Pred, Succ *mcc.MCC
+	TypeII     bool
+}
+
+// Store holds the outcome of one information model's propagation over one
+// labeled (canonical-orientation) mesh.
+type Store struct {
+	model Model
+	m     mesh.Mesh
+	grid  *labeling.Grid
+	set   *mcc.Set
+
+	triples [][]Triple // per node index
+	// relations, keyed by predecessor MCC ID, per axis. Globally indexed:
+	// the protocol distributes the records along every boundary of the
+	// participating components, so any node holding the component's triple
+	// may consult them (see the B3 discussion in DESIGN.md).
+	succOfY map[int][]*mcc.MCC
+	succOfX map[int][]*mcc.MCC
+
+	visited      []bool // propagation participants (Figure 5(c) numerator)
+	participants int
+	messages     int64
+}
+
+func newStore(model Model, set *mcc.Set) *Store {
+	m := set.Grid().Mesh()
+	return &Store{
+		model:   model,
+		m:       m,
+		grid:    set.Grid(),
+		set:     set,
+		triples: make([][]Triple, m.Nodes()),
+		succOfY: make(map[int][]*mcc.MCC),
+		succOfX: make(map[int][]*mcc.MCC),
+		visited: make([]bool, m.Nodes()),
+	}
+}
+
+// Model returns which information model built the store.
+func (s *Store) Model() Model { return s.model }
+
+// Set returns the MCC set the store describes.
+func (s *Store) Set() *mcc.Set { return s.set }
+
+// TriplesAt returns the triples stored at node u (nil for none).
+func (s *Store) TriplesAt(u mesh.Coord) []Triple {
+	if !s.m.In(u) {
+		return nil
+	}
+	return s.triples[s.m.Index(u)]
+}
+
+// HasInfo reports whether node u holds any boundary information — the
+// paper's "boundary node" test that gates RB3's sequence reconstruction.
+func (s *Store) HasInfo(u mesh.Coord) bool { return len(s.TriplesAt(u)) > 0 }
+
+// SuccessorsY returns the recorded type-I succeeding components of f.
+func (s *Store) SuccessorsY(f *mcc.MCC) []*mcc.MCC { return s.succOfY[f.ID] }
+
+// SuccessorsX returns the recorded type-II succeeding components of f.
+func (s *Store) SuccessorsX(f *mcc.MCC) []*mcc.MCC { return s.succOfX[f.ID] }
+
+// Participants returns how many distinct nodes the propagation touched.
+func (s *Store) Participants() int { return s.participants }
+
+// Messages returns the number of link crossings of the propagation.
+func (s *Store) Messages() int64 { return s.messages }
+
+// visit records a node as touched by the propagation and charges one link
+// crossing (hop == true) when the visit came over a link. Only safe nodes
+// count as participants: Figure 5(c)'s ratio is over the safe population,
+// and an unsafe position on an idealized relay segment is not a node that
+// does protocol work.
+func (s *Store) visit(c mesh.Coord, hop bool) {
+	if hop {
+		s.messages++
+	}
+	if !s.m.In(c) || !s.grid.Safe(c) {
+		return
+	}
+	idx := s.m.Index(c)
+	if !s.visited[idx] {
+		s.visited[idx] = true
+		s.participants++
+	}
+}
+
+// deposit stores a triple at c unless an identical one is already present
+// (nodes "will not accept duplicates from their neighbors").
+func (s *Store) deposit(c mesh.Coord, t Triple) {
+	if !s.m.In(c) || !s.grid.Safe(c) {
+		return
+	}
+	idx := s.m.Index(c)
+	for _, have := range s.triples[idx] {
+		if have == t {
+			return
+		}
+	}
+	s.triples[idx] = append(s.triples[idx], t)
+}
+
+// addRelation records pred -> succ for the given axis, deduplicated.
+func (s *Store) addRelation(pred, succ *mcc.MCC, typeII bool) {
+	tbl := s.succOfY
+	if typeII {
+		tbl = s.succOfX
+	}
+	for _, have := range tbl[pred.ID] {
+		if have == succ {
+			return
+		}
+	}
+	tbl[pred.ID] = append(tbl[pred.ID], succ)
+}
+
+// Build constructs the chosen information model over an MCC set.
+func Build(model Model, set *mcc.Set) *Store {
+	s := newStore(model, set)
+	for _, f := range set.All() {
+		s.identificationWalks(f)
+	}
+	for _, f := range set.All() {
+		switch model {
+		case B1:
+			s.boundaryMinusX(f, false)
+			s.boundaryMinusY(f, false)
+		case B2:
+			joinedX := s.boundaryMinusX(f, false)
+			joinedY := s.boundaryMinusY(f, false)
+			joinedX = append(joinedX, s.boundaryPlusX(f)...)
+			joinedY = append(joinedY, s.boundaryPlusY(f)...)
+			s.floodForbiddenY(f, joinedX)
+			s.floodForbiddenX(f, joinedY)
+		case B3:
+			s.boundaryMinusX(f, true)
+			s.boundaryMinusY(f, true)
+		}
+	}
+	return s
+}

@@ -1,0 +1,120 @@
+package mcc
+
+import "repro/internal/mesh"
+
+// This file implements the forbidden and critical regions of an MCC and the
+// per-component blocking predicate of the paper's information model:
+//
+//   - R_Y(c), the +Y forbidden region: nodes in the component's column span
+//     strictly below its bottom staircase. A Manhattan (+X/+Y) routing that
+//     starts there and must end above the component cannot avoid it.
+//   - R'_Y(c), the +Y critical region: nodes in the column span strictly
+//     above the top staircase.
+//   - R_X(c) / R'_X(c): the transposed pair for +X blocking (type-II),
+//     defined on the row span ("obtained by simply rotating the mesh").
+//
+// The central fact (from [5], proved here as an exact geometric statement
+// and property-tested against a monotone DP): a Manhattan path from u to d
+// crossing no cell of component F fails to exist iff
+//
+//	(u ∈ R_Y(F) ∧ d ∈ R'_Y(F)) ∨ (u ∈ R_X(F) ∧ d ∈ R'_X(F)).
+//
+// Note the regions deliberately exclude the corner columns x_c and x_{c'}:
+// a node on the corner column can always slide along it past the component,
+// so including those columns (as a literal reading of the paper's
+// "boundary-to-boundary" region might) would over-block. The boundary LINES
+// of package info still run on those columns; they carry information, they
+// are not themselves forbidden.
+
+// InForbiddenY reports u ∈ R_Y(f): u lies in f's column span strictly below
+// the bottom staircase.
+func (f *MCC) InForbiddenY(u mesh.Coord) bool {
+	if u.X < f.X0 || u.X > f.X1 {
+		return false
+	}
+	return u.Y < f.ColLo[u.X-f.X0]
+}
+
+// InCriticalY reports d ∈ R'_Y(f): d lies in f's column span strictly above
+// the top staircase.
+func (f *MCC) InCriticalY(d mesh.Coord) bool {
+	if d.X < f.X0 || d.X > f.X1 {
+		return false
+	}
+	return d.Y > f.ColHi[d.X-f.X0]
+}
+
+// InForbiddenX reports u ∈ R_X(f): u lies in f's row span strictly west of
+// the left staircase.
+func (f *MCC) InForbiddenX(u mesh.Coord) bool {
+	if u.Y < f.Y0 || u.Y > f.Y1 {
+		return false
+	}
+	return u.X < f.RowLo[u.Y-f.Y0]
+}
+
+// InCriticalX reports d ∈ R'_X(f): d lies in f's row span strictly east of
+// the right staircase.
+func (f *MCC) InCriticalX(d mesh.Coord) bool {
+	if d.Y < f.Y0 || d.Y > f.Y1 {
+		return false
+	}
+	return d.X > f.RowHi[d.Y-f.Y0]
+}
+
+// BlocksManhattan reports whether every monotone (+X/+Y) path from u to d
+// crosses a cell of f, assuming u is dominated by d and neither endpoint is
+// a cell of f. This is the region-pair predicate; PassBelow/PassAbove give
+// the direct geometric characterization and tests pin their equivalence.
+func (f *MCC) BlocksManhattan(u, d mesh.Coord) bool {
+	return (f.InForbiddenY(u) && f.InCriticalY(d)) ||
+		(f.InForbiddenX(u) && f.InCriticalX(d))
+}
+
+// PassBelow reports whether a monotone path from u to d can pass entirely
+// below f's bottom staircase wherever their column ranges overlap.
+//
+// Because ColLo is non-decreasing, the binding constraint on entry is the
+// first overlapping column, and on exit the destination column (when d's
+// column lies inside f's span).
+func (f *MCC) PassBelow(u, d mesh.Coord) bool {
+	xa := max(u.X, f.X0) // first overlapping column
+	if u.X > f.X1 || d.X < f.X0 {
+		return true // no overlap: nothing to pass
+	}
+	if u.Y >= f.ColLo[xa-f.X0] {
+		return false // already level with or above the bottom at entry
+	}
+	if d.X <= f.X1 && d.Y >= f.ColLo[d.X-f.X0] {
+		return false // must rise into the component at d's column
+	}
+	return true
+}
+
+// PassAbove reports whether a monotone path from u to d can pass entirely
+// above f's top staircase wherever their column ranges overlap.
+func (f *MCC) PassAbove(u, d mesh.Coord) bool {
+	if u.X > f.X1 || d.X < f.X0 {
+		return true
+	}
+	if u.X >= f.X0 && u.Y <= f.ColHi[u.X-f.X0] {
+		return false // cannot rise over the component in u's own column
+	}
+	xb := min(d.X, f.X1) // last overlapping column
+	if d.Y <= f.ColHi[xb-f.X0] {
+		return false // still under the top at exit
+	}
+	return true
+}
+
+// BlocksDirect is the direct geometric blocking predicate: no monotone path
+// can pass below or above. Property tests pin BlocksDirect ==
+// BlocksManhattan == monotone-DP blocking for safe endpoints.
+func (f *MCC) BlocksDirect(u, d mesh.Coord) bool {
+	if u.X > f.X1 || d.X < f.X0 || u.Y > f.Y1 || d.Y < f.Y0 {
+		// The component lies outside the travel rectangle's reach in at
+		// least one axis; monotone paths can always sidestep it.
+		return false
+	}
+	return !f.PassBelow(u, d) && !f.PassAbove(u, d)
+}

@@ -1,0 +1,143 @@
+package mesh
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestManhattan(t *testing.T) {
+	cases := []struct {
+		a, b Coord
+		want int
+	}{
+		{C(0, 0), C(0, 0), 0},
+		{C(0, 0), C(3, 4), 7},
+		{C(3, 4), C(0, 0), 7},
+		{C(5, 5), C(5, 9), 4},
+		{C(9, 2), C(1, 2), 8},
+		{C(-2, -3), C(2, 3), 10},
+	}
+	for _, c := range cases {
+		if got := c.a.Manhattan(c.b); got != c.want {
+			t.Errorf("Manhattan(%v,%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestManhattanSymmetryAndTriangle(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy int8) bool {
+		a, b, c := C(int(ax), int(ay)), C(int(bx), int(by)), C(int(cx), int(cy))
+		if a.Manhattan(b) != b.Manhattan(a) {
+			return false
+		}
+		// Triangle inequality.
+		return a.Manhattan(c) <= a.Manhattan(b)+b.Manhattan(c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDirectionDeltaStepRoundTrip(t *testing.T) {
+	start := C(7, 11)
+	for _, d := range Directions {
+		stepped := start.Step(d)
+		if stepped.Manhattan(start) != 1 {
+			t.Errorf("Step(%v) moved %d hops, want 1", d, stepped.Manhattan(start))
+		}
+		back := stepped.Step(d.Opposite())
+		if back != start {
+			t.Errorf("Step(%v) then Step(%v) = %v, want %v", d, d.Opposite(), back, start)
+		}
+	}
+}
+
+func TestDirectionTurns(t *testing.T) {
+	for _, d := range Directions {
+		if d.CW().CCW() != d {
+			t.Errorf("%v.CW().CCW() = %v, want %v", d, d.CW().CCW(), d)
+		}
+		if d.CCW().CW() != d {
+			t.Errorf("%v.CCW().CW() = %v, want %v", d, d.CCW().CW(), d)
+		}
+		// Four clockwise turns return to start.
+		if d.CW().CW().CW().CW() != d {
+			t.Errorf("four CW turns of %v do not return to start", d)
+		}
+		// Two turns in the same sense reverse the direction.
+		if d.CW().CW() != d.Opposite() {
+			t.Errorf("%v.CW().CW() = %v, want opposite %v", d, d.CW().CW(), d.Opposite())
+		}
+	}
+}
+
+func TestDirectionCWMatchesPaperConvention(t *testing.T) {
+	// Clockwise in the figures (+Y up): +Y -> +X -> -Y -> -X.
+	want := map[Direction]Direction{PlusY: PlusX, PlusX: MinusY, MinusY: MinusX, MinusX: PlusY}
+	for from, to := range want {
+		if got := from.CW(); got != to {
+			t.Errorf("%v.CW() = %v, want %v", from, got, to)
+		}
+	}
+}
+
+func TestDirTo(t *testing.T) {
+	u := C(4, 4)
+	for _, d := range Directions {
+		v := u.Step(d)
+		got, ok := u.DirTo(v)
+		if !ok || got != d {
+			t.Errorf("DirTo(%v,%v) = %v,%v; want %v,true", u, v, got, ok, d)
+		}
+	}
+	if _, ok := u.DirTo(C(5, 5)); ok {
+		t.Error("DirTo accepted a diagonal neighbor")
+	}
+	if _, ok := u.DirTo(u); ok {
+		t.Error("DirTo accepted the same node")
+	}
+	if _, ok := u.DirTo(C(7, 4)); ok {
+		t.Error("DirTo accepted a distant node")
+	}
+}
+
+func TestDominatedBy(t *testing.T) {
+	if !C(1, 2).DominatedBy(C(3, 4)) {
+		t.Error("(1,2) should be dominated by (3,4)")
+	}
+	if !C(3, 4).DominatedBy(C(3, 4)) {
+		t.Error("domination must be reflexive")
+	}
+	if C(3, 4).DominatedBy(C(1, 9)) {
+		t.Error("(3,4) must not be dominated by (1,9)")
+	}
+}
+
+func TestDirectionStrings(t *testing.T) {
+	want := map[Direction]string{PlusX: "+X", MinusX: "-X", PlusY: "+Y", MinusY: "-Y", DirNone: "none"}
+	for d, s := range want {
+		if d.String() != s {
+			t.Errorf("String(%d) = %q, want %q", d, d.String(), s)
+		}
+	}
+}
+
+func TestOppositeNone(t *testing.T) {
+	if DirNone.Opposite() != DirNone {
+		t.Error("DirNone.Opposite() must be DirNone")
+	}
+	if dx, dy := DirNone.Delta(); dx != 0 || dy != 0 {
+		t.Error("DirNone.Delta() must be (0,0)")
+	}
+}
+
+func TestCoordString(t *testing.T) {
+	if s := C(3, 17).String(); s != "(3,17)" {
+		t.Errorf("String = %q, want (3,17)", s)
+	}
+}
+
+func randCoord(r *rand.Rand, n int) Coord {
+	return C(r.Intn(n), r.Intn(n))
+}

@@ -1,0 +1,106 @@
+// Package routing implements the paper's routing algorithms over the fault
+// model, information models, and mesh substrate of the sibling packages:
+//
+//   - E-cube fault-tolerant routing (Boppana & Chalasani), the baseline of
+//     Figure 5(e): dimension-order routing with wall-following detours
+//     around fault regions.
+//   - RB1 (Algorithm 3): Manhattan routing guided by B1 boundary triples
+//     (Algorithm 2) with E-cube-style detours when blocked.
+//   - RB2 (Algorithm 5): multi-phase shortest-path routing under the full
+//     information model B2, choosing detour corners by the recursive
+//     distance of Equations 2/3 over blocking sequences.
+//   - RB3 (Algorithm 7): the same strategy under the practical model B3,
+//     with sequences reconstructed from boundary-node relation records
+//     (Equation 5).
+//
+// Every algorithm is simulated hop by hop: the decision at each node uses
+// only that node's locally available knowledge (neighbor status, deposited
+// triples, relation records), and the produced walk is measured against the
+// BFS oracle — that measurement is Figures 5(d) and 5(e).
+//
+// The paper develops everything for travel toward +X/+Y and obtains the
+// other quadrants "by simply rotating the mesh"; Analysis implements the
+// rotation by maintaining the labeling, MCC geometry, and information
+// stores for all four mesh.Orient frames of one fault set, built lazily.
+package routing
+
+import (
+	"repro/internal/fault"
+	"repro/internal/info"
+	"repro/internal/labeling"
+	"repro/internal/mcc"
+	"repro/internal/mesh"
+)
+
+// Analysis caches the per-orientation derived state for one fault
+// configuration. It is not safe for concurrent use; experiments build one
+// per trial.
+type Analysis struct {
+	m      mesh.Mesh
+	faults *fault.Set
+	policy labeling.BorderPolicy
+
+	grids  [mesh.NumOrients]*labeling.Grid
+	sets   [mesh.NumOrients]*mcc.Set
+	stores [3][mesh.NumOrients]*info.Store
+}
+
+// NewAnalysis prepares lazy per-orientation analyses of the fault set under
+// the default BorderSafe labeling policy.
+func NewAnalysis(f *fault.Set) *Analysis {
+	return &Analysis{m: f.Mesh(), faults: f, policy: labeling.BorderSafe}
+}
+
+// NewAnalysisWithPolicy selects the labeling border policy (ablation).
+func NewAnalysisWithPolicy(f *fault.Set, p labeling.BorderPolicy) *Analysis {
+	return &Analysis{m: f.Mesh(), faults: f, policy: p}
+}
+
+// Mesh returns the analyzed topology.
+func (a *Analysis) Mesh() mesh.Mesh { return a.m }
+
+// Faults returns the fault set in original coordinates.
+func (a *Analysis) Faults() *fault.Set { return a.faults }
+
+// Grid returns the labeling for orientation o (canonical frame of o).
+func (a *Analysis) Grid(o mesh.Orient) *labeling.Grid {
+	if a.grids[o] == nil {
+		a.grids[o] = labeling.Compute(a.faults.Mirror(o), a.policy)
+	}
+	return a.grids[o]
+}
+
+// MCCs returns the MCC set for orientation o.
+func (a *Analysis) MCCs(o mesh.Orient) *mcc.Set {
+	if a.sets[o] == nil {
+		a.sets[o] = mcc.Extract(a.Grid(o))
+	}
+	return a.sets[o]
+}
+
+// Store returns the information store of the given model for orientation o.
+func (a *Analysis) Store(model info.Model, o mesh.Orient) *info.Store {
+	if a.stores[model][o] == nil {
+		a.stores[model][o] = info.Build(model, a.MCCs(o))
+	}
+	return a.stores[model][o]
+}
+
+// env bundles the canonical-frame state one routing leg works against.
+type env struct {
+	orient mesh.Orient
+	grid   *labeling.Grid
+	set    *mcc.Set
+	store  *info.Store // nil for E-cube (neighbor knowledge only)
+}
+
+// envFor assembles the environment for a leg from u toward t under a model.
+// useStore selects whether the algorithm consults deposited triples.
+func (a *Analysis) envFor(u, t mesh.Coord, model info.Model, useStore bool) env {
+	o := mesh.OrientFor(u, t)
+	e := env{orient: o, grid: a.Grid(o), set: a.MCCs(o)}
+	if useStore {
+		e.store = a.Store(model, o)
+	}
+	return e
+}

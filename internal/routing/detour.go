@@ -1,0 +1,112 @@
+package routing
+
+import "repro/internal/mesh"
+
+// Wall-following detour machinery shared by the E-cube baseline, RB1
+// (Algorithm 3 step 3: "select -X or -Y direction to route around the MCC
+// in clockwise direction"), and the planned routers' last-resort recovery.
+//
+// The walker keeps the obstacle region on its right-hand side: at each
+// step it tries to turn toward the wall first (right), then straight, then
+// left, then back. Starting heading is -X when admissible (matching the
+// figures' detours, which leave westward along the region's south side),
+// else -Y, +X, +Y.
+//
+// Obstacles are the *faulty* nodes: a detour is already non-minimal, so
+// healthy-but-unsafe nodes are legal to traverse (E-cube semantics); the
+// boundary exclusions of Algorithm 2 are what keep the minimal phases away
+// from MCCs.
+//
+// Two guards make episodes terminate:
+//
+//   - an episode remembers visited (position, heading) states; repeating
+//     one means the ring cannot be escaped (possible against the mesh
+//     border, where a ring degenerates into a chain) and the episode fails;
+//   - drivers may only leave an episode into a node the episode has not
+//     visited — exiting back into the position that triggered the detour
+//     would re-block immediately and livelock.
+type detour struct {
+	active  bool
+	heading mesh.Direction
+	seen    map[detourState]bool
+	visited map[mesh.Coord]bool
+	// leftHand flips the wall side. The fixed right-hand rule can orbit a
+	// fault cluster in the unproductive direction (the classic orientation
+	// problem of f-ring traversal); the walk flips the side when it detects
+	// it is revisiting ground.
+	leftHand bool
+}
+
+type detourState struct {
+	pos     mesh.Coord
+	heading mesh.Direction
+}
+
+// begin starts an episode at pos, where progress in direction blocked was
+// obstructed while heading toward dest. The walker turns laterally toward
+// the destination when possible and keeps the wall on the side the blocked
+// direction ended up on — the orientation choice of the f-ring traversal
+// literature, which picks the productive way around the region.
+func (dt *detour) begin(m mesh.Mesh, obstacle func(mesh.Coord) bool, pos mesh.Coord, blocked mesh.Direction, dest mesh.Coord) bool {
+	start := func(h mesh.Direction) bool {
+		n := pos.Step(h)
+		if !m.In(n) || obstacle(n) {
+			return false
+		}
+		dt.active = true
+		dt.heading = h
+		// Wall side: the blocked direction relative to the new heading.
+		dt.leftHand = blocked == h.CCW()
+		dt.seen = map[detourState]bool{}
+		dt.visited = map[mesh.Coord]bool{pos: true}
+		return true
+	}
+	// Lateral turns, destination-pointing first.
+	lat := [2]mesh.Direction{blocked.CW(), blocked.CCW()}
+	if pos.Step(lat[1]).Manhattan(dest) < pos.Step(lat[0]).Manhattan(dest) {
+		lat[0], lat[1] = lat[1], lat[0]
+	}
+	for _, h := range lat {
+		if start(h) {
+			return true
+		}
+	}
+	// Fall back to reversing out.
+	return start(blocked.Opposite())
+}
+
+// step advances one wall-following hop. ok=false means the episode cannot
+// continue (full circle walked or walled in).
+func (dt *detour) step(m mesh.Mesh, obstacle func(mesh.Coord) bool, pos mesh.Coord) (mesh.Coord, bool) {
+	st := detourState{pos: pos, heading: dt.heading}
+	if dt.seen[st] {
+		return mesh.Coord{}, false
+	}
+	dt.seen[st] = true
+	// Right-hand rule: wall on the right, so try right, straight, left,
+	// back, in heading-relative order (mirrored when leftHand is set).
+	order := [4]mesh.Direction{dt.heading.CW(), dt.heading, dt.heading.CCW(), dt.heading.Opposite()}
+	if dt.leftHand {
+		order = [4]mesh.Direction{dt.heading.CCW(), dt.heading, dt.heading.CW(), dt.heading.Opposite()}
+	}
+	for _, h := range order {
+		n := pos.Step(h)
+		if m.In(n) && !obstacle(n) {
+			dt.heading = h
+			dt.visited[n] = true
+			return n, true
+		}
+	}
+	return mesh.Coord{}, false
+}
+
+// fresh reports whether leaving the episode into c avoids re-entering
+// already-walked ground.
+func (dt *detour) fresh(c mesh.Coord) bool { return !dt.visited[c] }
+
+// end closes the episode (the wall side persists across episodes).
+func (dt *detour) end() {
+	dt.active = false
+	dt.seen = nil
+	dt.visited = nil
+}

@@ -1,0 +1,265 @@
+package routing
+
+import (
+	"repro/internal/info"
+	"repro/internal/mcc"
+	"repro/internal/mesh"
+)
+
+// This file evaluates the paper's Equations 2 and 3: the recursive
+// shortest-path distance over a blocking sequence's detour options, and the
+// intermediate destinations (pivots) the multi-phase routing should visit.
+//
+//	P_0 = M(u, c_1)            + D(c_1, d)
+//	P_i = M(u, c'_i) + M(c'_i, c_{i+1}) + D(c_{i+1}, d),  1 <= i < n
+//	P_n = M(u, c'_n)           + D(c'_n, d)
+//
+// with D(x, d) = M(x, d) when no sequence blocks x -> d and the minimum
+// over the options of x's closest sequence otherwise.
+//
+// Deviations forced by under-specification, all documented in DESIGN.md:
+//
+//   - corners occupied by faults/other components or lying outside the mesh
+//     are unusable and their options are dropped; if every option drops the
+//     plan fails and the caller falls back to detour walking;
+//   - D(x, d) for a pivot x not dominated by d (possible whenever a corner
+//     overshoots the destination's row or column) is evaluated by rotating
+//     into the (x, d) pair's own orientation and recursing there — the
+//     paper's "simply rotating the mesh" — with a depth budget shared
+//     across orientations;
+//   - recursion is memoized per query and cycle-guarded; a cycle renders
+//     the option invalid.
+
+// seqFinder abstracts how a node identifies the closest blocking sequence:
+// RB2 queries the full geometry (model B2 floods every forbidden region),
+// RB3 reconstructs from boundary relation records (Equation 5).
+type seqFinder func(e env, cu, cd mesh.Coord) *mcc.Sequence
+
+// planResult carries Equation 2's value and the pivot chain of the chosen
+// option.
+type planResult struct {
+	dist   int
+	pivots []mesh.Coord // canonical-frame intermediate destinations, in order
+	ok     bool
+}
+
+// planner memoizes Equation 2 evaluations for one (query, orientation).
+// Cross-orientation recursion spawns sibling planners sharing the depth
+// budget.
+type planner struct {
+	a      *Analysis
+	model  info.Model
+	e      env
+	find   seqFinder
+	cd     mesh.Coord
+	memo   map[mesh.Coord]planMemo
+	onPath map[mesh.Coord]bool
+	depth  *int
+}
+
+type planMemo struct {
+	dist int
+	ok   bool
+}
+
+const maxPlanDepth = 64
+
+// newPlanner prepares an Equation 2 evaluation toward canonical
+// destination cd.
+func newPlanner(a *Analysis, model info.Model, e env, find seqFinder, cd mesh.Coord) *planner {
+	depth := 0
+	return &planner{
+		a:      a,
+		model:  model,
+		e:      e,
+		find:   find,
+		cd:     cd,
+		memo:   map[mesh.Coord]planMemo{},
+		onPath: map[mesh.Coord]bool{},
+		depth:  &depth,
+	}
+}
+
+// usable reports whether a corner can serve as an intermediate destination.
+func (p *planner) usable(c mesh.Coord) bool {
+	return p.e.grid.Safe(c)
+}
+
+// dist evaluates D(x, cd) per Equation 2. ok=false means no valid option
+// exists from x (plan failure).
+func (p *planner) dist(x mesh.Coord) (int, bool) {
+	if m, hit := p.memo[x]; hit {
+		return m.dist, m.ok
+	}
+	if p.onPath[x] || *p.depth > maxPlanDepth {
+		return 0, false // cycle or runaway recursion: invalid option
+	}
+	if !x.DominatedBy(p.cd) {
+		// The leg leaves the canonical quadrant: rotate into the (x, d)
+		// pair's own orientation and evaluate there, with that frame's
+		// fault regions and information.
+		ox := p.e.orient.From(p.a.m, x)
+		od := p.e.orient.From(p.a.m, p.cd)
+		e2 := p.a.envFor(ox, od, p.model, true)
+		p2 := &planner{
+			a: p.a, model: p.model, e: e2, find: p.find,
+			cd:     e2.orient.To(p.a.m, od),
+			memo:   map[mesh.Coord]planMemo{},
+			onPath: map[mesh.Coord]bool{},
+			depth:  p.depth,
+		}
+		*p.depth++
+		d, ok := p2.dist(e2.orient.To(p.a.m, ox))
+		*p.depth--
+		p.memo[x] = planMemo{dist: d, ok: ok}
+		return d, ok
+	}
+	seq := p.find(p.e, x, p.cd)
+	if seq == nil {
+		return x.Manhattan(p.cd), true
+	}
+	p.onPath[x] = true
+	*p.depth++
+	d, _, ok := p.options(x, seq)
+	*p.depth--
+	delete(p.onPath, x)
+	p.memo[x] = planMemo{dist: d, ok: ok}
+	return d, ok
+}
+
+// options evaluates Equation 3 for the sequence blocking x and returns the
+// best distance with its pivot chain.
+func (p *planner) options(x mesh.Coord, seq *mcc.Sequence) (best int, pivots []mesh.Coord, ok bool) {
+	first, middles, last := seq.Corners()
+	consider := func(cost int, pv ...mesh.Coord) {
+		if !ok || cost < best {
+			best, pivots, ok = cost, append([]mesh.Coord(nil), pv...), true
+		}
+	}
+	// P_0: around the first component's initialization corner.
+	if p.usable(first) {
+		if rest, rok := p.dist(first); rok {
+			consider(x.Manhattan(first)+rest, first)
+		}
+	}
+	// P_i: squeeze between consecutive components.
+	for _, mid := range middles {
+		ci, cnext := mid[0], mid[1]
+		if !p.usable(ci) || !p.usable(cnext) {
+			continue
+		}
+		if rest, rok := p.dist(cnext); rok {
+			consider(x.Manhattan(ci)+ci.Manhattan(cnext)+rest, ci, cnext)
+		}
+	}
+	// P_n: around the last component's opposite corner.
+	if p.usable(last) {
+		if rest, rok := p.dist(last); rok {
+			consider(x.Manhattan(last)+rest, last)
+		}
+	}
+	return best, pivots, ok
+}
+
+// plan runs Equations 2/3 from canonical position cu against an
+// already-identified blocking sequence.
+func (p *planner) plan(cu mesh.Coord, seq *mcc.Sequence) planResult {
+	d, pivots, ok := p.options(cu, seq)
+	return planResult{dist: d, pivots: pivots, ok: ok}
+}
+
+// findSequenceFull is RB2's finder: under model B2 every node inside a
+// forbidden region holds the full identified information, so the geometric
+// query of package mcc is exactly what the node can compute.
+func findSequenceFull(e env, cu, cd mesh.Coord) *mcc.Sequence {
+	return e.set.FindSequence(cu, cd)
+}
+
+// findSequenceB3 is RB3's finder: sequences are reconstructed from the
+// triples and succeeding-MCC relations available at boundary nodes
+// (Equation 5). Interior nodes without deposited information cannot
+// identify sequences and route by Algorithm 2 alone — the source of RB3's
+// sub-optimality that Figure 5(d) quantifies.
+func findSequenceB3(e env, cu, cd mesh.Coord) *mcc.Sequence {
+	if e.store == nil || !e.store.HasInfo(cu) {
+		return nil
+	}
+	// Seeds: components whose triples are present at cu and whose extended
+	// forbidden region contains cu (Equation 5's F(alpha) test).
+	var bestSeq *mcc.Sequence
+	for _, tr := range e.store.TriplesAt(cu) {
+		f := tr.F
+		var seq *mcc.Sequence
+		if tr.Kind.GuardsY() {
+			seq = chainFromRelations(e, f, cu, cd, false)
+		} else {
+			seq = chainFromRelations(e, f, cu, cd, true)
+		}
+		if seq != nil && (bestSeq == nil || len(seq.Chain) < len(bestSeq.Chain)) {
+			bestSeq = seq
+		}
+	}
+	return bestSeq
+}
+
+// chainFromRelations follows recorded succeeding-MCC relations from a seed
+// component until one covers the destination's column (row) from below
+// (west), per Equations 4/5. Unlike RB2's geometric search it cannot
+// certify the chain with a DP — the node only has the records — so false
+// positives cause detours that the evaluation measures.
+func chainFromRelations(e env, seed *mcc.MCC, cu, cd mesh.Coord, typeII bool) *mcc.Sequence {
+	inForbidden := func(f *mcc.MCC, c mesh.Coord) bool {
+		if typeII {
+			return f.InForbiddenX(c)
+		}
+		return f.InForbiddenY(c)
+	}
+	inCritical := func(f *mcc.MCC, c mesh.Coord) bool {
+		if typeII {
+			return f.InCriticalX(c)
+		}
+		return f.InCriticalY(c)
+	}
+	succ := func(f *mcc.MCC) []*mcc.MCC {
+		if typeII {
+			return e.store.SuccessorsX(f)
+		}
+		return e.store.SuccessorsY(f)
+	}
+	if !inForbidden(seed, cu) {
+		return nil
+	}
+	chain := []*mcc.MCC{seed}
+	onChain := map[int]bool{seed.ID: true}
+	cur := seed
+	for range e.set.All() {
+		if inCritical(cur, cd) {
+			return &mcc.Sequence{Chain: chain, TypeII: typeII}
+		}
+		if inForbidden(cur, cd) {
+			return nil // destination is underneath the chain
+		}
+		// Equation 4: the successor with the minimal corner coordinate.
+		var next *mcc.MCC
+		bestKey := 0
+		for _, g := range succ(cur) {
+			if onChain[g.ID] {
+				continue
+			}
+			key := g.Corner().Y
+			if typeII {
+				key = g.Corner().X
+			}
+			if next == nil || key < bestKey {
+				next, bestKey = g, key
+			}
+		}
+		if next == nil {
+			return nil
+		}
+		chain = append(chain, next)
+		onChain[next.ID] = true
+		cur = next
+	}
+	return nil
+}

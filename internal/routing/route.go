@@ -1,0 +1,393 @@
+package routing
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/info"
+	"repro/internal/mesh"
+)
+
+// Algo names one of the evaluated routing algorithms.
+type Algo uint8
+
+// The four algorithms of Figure 5(d)/(e).
+const (
+	// Ecube is the fault-tolerant dimension-order baseline [2].
+	Ecube Algo = iota
+	// RB1 is Algorithm 3: Manhattan routing on B1 info with E-cube detours.
+	RB1
+	// RB2 is Algorithm 5: multi-phase shortest-path routing on B2 info.
+	RB2
+	// RB3 is Algorithm 7: RB2's strategy on B3 boundary info.
+	RB3
+)
+
+// String names the algorithm as in the paper.
+func (a Algo) String() string {
+	switch a {
+	case Ecube:
+		return "E-cube"
+	case RB1:
+		return "RB1"
+	case RB2:
+		return "RB2"
+	case RB3:
+		return "RB3"
+	}
+	return fmt.Sprintf("Algo(%d)", uint8(a))
+}
+
+// Model returns the information model the algorithm consumes (B1 for the
+// E-cube baseline too: it simply never reads it).
+func (a Algo) Model() info.Model {
+	switch a {
+	case RB2:
+		return info.B2
+	case RB3:
+		return info.B3
+	default:
+		return info.B1
+	}
+}
+
+// Options tune a routing simulation.
+type Options struct {
+	// Policy is the adaptive selector of Algorithm 2 step 3.
+	Policy Policy
+	// Rng drives PolicyRandom; unused otherwise.
+	Rng *rand.Rand
+	// MaxHops bounds the walk; 0 means 8 * nodes.
+	MaxHops int
+}
+
+func (o Options) maxHops(m mesh.Mesh) int {
+	if o.MaxHops > 0 {
+		return o.MaxHops
+	}
+	return 8 * m.Nodes()
+}
+
+// Result reports one simulated routing.
+type Result struct {
+	// Path holds every visited node, s first; Path[len-1] == d iff
+	// Delivered.
+	Path []mesh.Coord
+	// Delivered reports whether the walk reached the destination.
+	Delivered bool
+	// Hops is len(Path)-1 for delivered walks.
+	Hops int
+	// Phases counts intermediate destinations reached (RB2/RB3).
+	Phases int
+	// DetourHops counts hops taken in wall-following detour mode.
+	DetourHops int
+	// Abort describes why an undelivered walk stopped.
+	Abort string
+}
+
+// Route simulates algo from s to d over the analyzed fault configuration.
+func Route(a *Analysis, algo Algo, s, d mesh.Coord, opt Options) Result {
+	if !a.m.In(s) || !a.m.In(d) {
+		return Result{Abort: "endpoint outside mesh"}
+	}
+	if a.faults.Faulty(s) || a.faults.Faulty(d) {
+		return Result{Abort: "faulty endpoint"}
+	}
+	switch algo {
+	case Ecube:
+		return a.routeEcube(s, d, opt)
+	case RB1:
+		return a.routeRB1(s, d, opt)
+	case RB2:
+		return a.routePlanned(s, d, opt, info.B2, findSequenceFull)
+	case RB3:
+		return a.routePlanned(s, d, opt, info.B3, findSequenceB3)
+	}
+	return Result{Abort: "unknown algorithm"}
+}
+
+// walk carries the shared per-simulation state of the drivers.
+type walk struct {
+	a          *Analysis
+	res        Result
+	u          mesh.Coord
+	d          mesh.Coord
+	dt         detour
+	obstacle   func(mesh.Coord) bool
+	visitCount map[mesh.Coord]int
+	stuck      bool
+	// downgraded pins the detour wall to faulty-only: a safe node can be
+	// enclosed by unsafe neighbors of mixed kinds, and the MCC-region wall
+	// must then be abandoned for the physical one.
+	downgraded bool
+}
+
+// Revisit thresholds: flipping the wall side on the 4th visit to the same
+// node breaks orbit livelocks (wrong traversal orientation around a fault
+// cluster); a walk still revisiting after both sides were tried is stuck.
+const (
+	flipVisits  = 4
+	abortVisits = 12
+)
+
+func (a *Analysis) newWalk(s, d mesh.Coord) *walk {
+	return &walk{
+		a:          a,
+		res:        Result{Path: []mesh.Coord{s}},
+		u:          s,
+		d:          d,
+		obstacle:   func(c mesh.Coord) bool { return a.faults.Faulty(c) },
+		visitCount: map[mesh.Coord]int{s: 1},
+	}
+}
+
+// arrive records the hop target and runs livelock detection.
+func (w *walk) arrive(n mesh.Coord) {
+	w.u = n
+	w.res.Path = append(w.res.Path, n)
+	w.visitCount[n]++
+	switch c := w.visitCount[n]; {
+	case c == flipVisits:
+		w.dt.leftHand = !w.dt.leftHand
+		if w.dt.active {
+			w.dt.end()
+		}
+	case c >= abortVisits:
+		w.stuck = true
+	}
+}
+
+// move advances to n as a normal (non-detour) hop, closing any episode.
+func (w *walk) move(n mesh.Coord) {
+	if w.dt.active {
+		w.dt.end()
+	}
+	w.arrive(n)
+}
+
+// detourMove tries to advance one wall-following hop; when the episode is
+// exhausted it falls back to the normal candidate (if any). ok=false means
+// the walk must abort.
+func (w *walk) detourMove(haveNormal bool, normal mesh.Coord, blocked mesh.Direction) bool {
+	if !w.dt.active {
+		if !w.dt.begin(w.a.m, w.obstacle, w.u, blocked, w.d) {
+			if !w.downgrade() || !w.dt.begin(w.a.m, w.obstacle, w.u, blocked, w.d) {
+				w.res.Abort = "walled in"
+				return false
+			}
+		}
+	}
+	next, ok := w.dt.step(w.a.m, w.obstacle, w.u)
+	if !ok && !haveNormal && w.downgrade() {
+		// Retry the episode against the physical wall before giving up.
+		w.dt.end()
+		if w.dt.begin(w.a.m, w.obstacle, w.u, blocked, w.d) {
+			next, ok = w.dt.step(w.a.m, w.obstacle, w.u)
+		}
+	}
+	if !ok {
+		if haveNormal {
+			w.move(normal) // full circle: exit even onto walked ground
+			return true
+		}
+		w.res.Abort = "detour loop"
+		return false
+	}
+	w.res.DetourHops++
+	w.arrive(next)
+	return true
+}
+
+// downgrade switches the detour wall to faulty-only; reports whether the
+// switch changed anything.
+func (w *walk) downgrade() bool {
+	if w.downgraded {
+		return false
+	}
+	w.downgraded = true
+	w.obstacle = func(c mesh.Coord) bool { return w.a.faults.Faulty(c) }
+	return true
+}
+
+// stepOrDetour performs one hop: the normal step when it exists and does
+// not re-enter the active episode's walked ground, a wall-following hop
+// otherwise.
+func (w *walk) stepOrDetour(haveNormal bool, normal mesh.Coord, blocked mesh.Direction) bool {
+	if haveNormal && (!w.dt.active || w.dt.fresh(normal)) {
+		w.move(normal)
+		return true
+	}
+	return w.detourMove(haveNormal, normal, blocked)
+}
+
+func (w *walk) finish() Result {
+	w.res.Delivered = true
+	w.res.Hops = len(w.res.Path) - 1
+	return w.res
+}
+
+func (w *walk) exhausted() Result {
+	if w.stuck {
+		w.res.Abort = "livelock"
+	} else {
+		w.res.Abort = "hop budget exhausted"
+	}
+	return w.res
+}
+
+// done reports whether the walk should stop without delivery.
+func (w *walk) done(maxHops int) bool {
+	return w.stuck || len(w.res.Path) > maxHops
+}
+
+// unsafeObstacle treats the unsafe region of the leg's orientation as the
+// detour wall; faulty cells are unsafe in every orientation, so this is a
+// superset of the E-cube wall.
+func unsafeObstacle(a *Analysis, e env) func(mesh.Coord) bool {
+	return func(c mesh.Coord) bool { return e.grid.Unsafe(e.orient.To(a.m, c)) }
+}
+
+// progressDir returns the blocked progress direction in original
+// coordinates when a leg's candidate set empties: the canonical direction
+// with the larger remaining offset toward the leg target.
+func (w *walk) progressDir(cu, ct mesh.Coord, e env) mesh.Direction {
+	dir := mesh.PlusX
+	if ct.Y-cu.Y > ct.X-cu.X {
+		dir = mesh.PlusY
+	}
+	return e.orient.DirTo(dir)
+}
+
+// routeEcube is dimension-order XY routing with wall-following detours
+// around faulty regions, the baseline of Figure 5(e).
+func (a *Analysis) routeEcube(s, d mesh.Coord, opt Options) Result {
+	w := a.newWalk(s, d)
+	for !w.done(opt.maxHops(a.m)) {
+		if w.u == d {
+			return w.finish()
+		}
+		wantDir := dimOrderDir(w.u, d)
+		want := w.u.Step(wantDir)
+		free := a.m.In(want) && !w.obstacle(want)
+		if !w.stepOrDetour(free, want, wantDir) {
+			return w.res
+		}
+	}
+	return w.exhausted()
+}
+
+// dimOrderDir is the XY dimension-order preference: correct X, then Y.
+func dimOrderDir(u, d mesh.Coord) mesh.Direction {
+	switch {
+	case u.X < d.X:
+		return mesh.PlusX
+	case u.X > d.X:
+		return mesh.MinusX
+	case u.Y < d.Y:
+		return mesh.PlusY
+	default:
+		return mesh.MinusY
+	}
+}
+
+// routeRB1 is Algorithm 3: Algorithm 2 decisions on B1 information, with a
+// wall-following detour around the blocking region whenever the candidate
+// set empties.
+func (a *Analysis) routeRB1(s, d mesh.Coord, opt Options) Result {
+	w := a.newWalk(s, d)
+	for !w.done(opt.maxHops(a.m)) {
+		if w.u == d {
+			return w.finish()
+		}
+		e := a.envFor(w.u, d, info.B1, true)
+		cu, cd := e.orient.To(a.m, w.u), e.orient.To(a.m, d)
+		cands := e.candidates(cu, cd)
+		var normal mesh.Coord
+		if len(cands) > 0 {
+			dir := e.orient.DirTo(opt.Policy.choose(cands, cu, cd, opt.Rng))
+			normal = w.u.Step(dir)
+		}
+		// Algorithm 3 detours "around the MCC": the wall is the unsafe
+		// region of the current travel orientation, not just the faults —
+		// otherwise the walker orbits inside useless pockets that the
+		// candidate rule refuses to re-enter.
+		if !w.downgraded {
+			w.obstacle = unsafeObstacle(w.a, e)
+		}
+		if !w.stepOrDetour(len(cands) > 0, normal, w.progressDir(cu, cd, e)) {
+			return w.res
+		}
+	}
+	return w.exhausted()
+}
+
+// routePlanned is the multi-phase driver shared by RB2 (Algorithm 5) and
+// RB3 (Algorithm 7): identify the closest blocking sequence, evaluate
+// Equations 2/3 for the detour pivots, route Manhattan legs to each pivot,
+// and repeat from there.
+func (a *Analysis) routePlanned(s, d mesh.Coord, opt Options, model info.Model, find seqFinder) Result {
+	w := a.newWalk(s, d)
+	var pending []mesh.Coord // pivots ahead, original coordinates
+	replans := 0
+	for !w.done(opt.maxHops(a.m)) {
+		if w.u == d {
+			return w.finish()
+		}
+		// Pop reached pivots.
+		for len(pending) > 0 && w.u == pending[0] {
+			pending = pending[1:]
+			w.res.Phases++
+			replans = 0
+		}
+		target := d
+		if len(pending) > 0 {
+			target = pending[0]
+		}
+		e := a.envFor(w.u, target, model, true)
+		cu, ct := e.orient.To(a.m, w.u), e.orient.To(a.m, target)
+		// Plan detours only on the final-destination leg; pivot legs are
+		// already part of a plan. The replan guard limits in-place loops
+		// (it resets on every actual movement).
+		if target == d && replans < 4 {
+			if seq := find(e, cu, ct); seq != nil {
+				pl := newPlanner(a, model, e, find, ct)
+				if plan := pl.plan(cu, seq); plan.ok {
+					replans++
+					pending = pending[:0]
+					for _, p := range plan.pivots {
+						pending = append(pending, e.orient.From(a.m, p))
+					}
+					if len(pending) > 0 {
+						target = pending[0]
+						e = a.envFor(w.u, target, model, true)
+						cu, ct = e.orient.To(a.m, w.u), e.orient.To(a.m, target)
+					}
+				}
+				// A failed plan falls through: Algorithm 2 exclusions and
+				// the detour walker still make progress.
+			}
+		}
+		cands := e.candidates(cu, ct)
+		if len(cands) == 0 && len(pending) > 0 {
+			// Pivot leg blocked mid-way: drop the plan, re-plan from here.
+			pending = pending[:0]
+			continue
+		}
+		var normal mesh.Coord
+		if len(cands) > 0 {
+			dir := e.orient.DirTo(opt.Policy.choose(cands, cu, ct, opt.Rng))
+			normal = w.u.Step(dir)
+		}
+		if !w.downgraded {
+			w.obstacle = unsafeObstacle(w.a, e)
+		}
+		moved := w.u
+		if !w.stepOrDetour(len(cands) > 0, normal, w.progressDir(cu, ct, e)) {
+			return w.res
+		}
+		if w.u != moved {
+			replans = 0
+		}
+	}
+	return w.exhausted()
+}

@@ -1,0 +1,131 @@
+package routing
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/mesh"
+	"repro/internal/spath"
+)
+
+// Routing must behave across fault workloads, not just uniform placement:
+// clustered failures (correlated defects) and rectangular blocks (the
+// classic faulty-block literature's workload) produce much larger MCCs for
+// the same fault count.
+func TestRoutingUnderStructuredWorkloads(t *testing.T) {
+	gens := []fault.Generator{
+		fault.Clustered{MeanClusterSize: 10},
+		fault.Blocks{MaxSide: 5},
+	}
+	r := rand.New(rand.NewSource(3))
+	for _, gen := range gens {
+		for trial := 0; trial < 6; trial++ {
+			m := mesh.Square(24)
+			f, ok := fault.GenerateConnected(gen, m, 50, r, 30)
+			if !ok {
+				continue
+			}
+			a := NewAnalysis(f)
+			routed := 0
+			for i := 0; i < 20; i++ {
+				s := mesh.C(r.Intn(24), r.Intn(24))
+				d := mesh.C(r.Intn(24), r.Intn(24))
+				o := mesh.OrientFor(s, d)
+				if s == d || !a.Grid(o).Safe(o.To(m, s)) || !a.Grid(o).Safe(o.To(m, d)) {
+					continue
+				}
+				b := spath.NewBFS(f, s)
+				if !b.Reachable(d) {
+					continue
+				}
+				routed++
+				for _, algo := range allAlgos {
+					res := Route(a, algo, s, d, Options{})
+					if !res.Delivered {
+						if algo == RB2 {
+							t.Errorf("%s/%v undelivered %v->%v: %s", gen.Name(), algo, s, d, res.Abort)
+						}
+						continue
+					}
+					if !spath.PathValid(f, s, d, res.Path) {
+						t.Fatalf("%s/%v invalid path", gen.Name(), algo)
+					}
+					if int32(res.Hops) < b.Dist(d) {
+						t.Fatalf("%s/%v beat BFS", gen.Name(), algo)
+					}
+				}
+			}
+			if routed == 0 {
+				t.Logf("%s trial %d: no routable pairs", gen.Name(), trial)
+			}
+		}
+	}
+}
+
+// A large solid block is the cleanest detour scenario: every algorithm
+// delivers, and RB2 is optimal from every side.
+func TestRoutingAroundSolidBlock(t *testing.T) {
+	m := mesh.Square(20)
+	f := fault.NewSet(m)
+	(mesh.Rect{X0: 8, Y0: 8, X1: 12, Y1: 12}).Each(func(c mesh.Coord) { f.Add(c) })
+	a := NewAnalysis(f)
+	pairs := [][2]mesh.Coord{
+		{mesh.C(10, 5), mesh.C(10, 15)}, // south -> north through the block
+		{mesh.C(5, 10), mesh.C(15, 10)}, // west -> east
+		{mesh.C(15, 10), mesh.C(5, 10)}, // east -> west
+		{mesh.C(10, 15), mesh.C(10, 5)}, // north -> south
+		{mesh.C(6, 6), mesh.C(14, 14)},  // diagonal: block centered on the path
+	}
+	for _, p := range pairs {
+		want := spath.Distance(f, p[0], p[1])
+		res := Route(a, RB2, p[0], p[1], Options{})
+		if !res.Delivered || int32(res.Hops) != want {
+			t.Errorf("RB2 %v->%v: hops=%d want=%d delivered=%v",
+				p[0], p[1], res.Hops, want, res.Delivered)
+		}
+		for _, algo := range allAlgos {
+			res := Route(a, algo, p[0], p[1], Options{})
+			if !res.Delivered {
+				t.Errorf("%v undelivered %v->%v: %s", algo, p[0], p[1], res.Abort)
+			}
+		}
+	}
+}
+
+// Link faults reduce to node faults (the paper's rule); routing avoids the
+// disabled pair.
+func TestRoutingWithLinkFaults(t *testing.T) {
+	m := mesh.Square(12)
+	f := fault.NewSet(m)
+	if err := fault.DisableLinks(f, []fault.Link{
+		{A: mesh.C(5, 5), B: mesh.C(6, 5)},
+		{A: mesh.C(5, 7), B: mesh.C(5, 8)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	a := NewAnalysis(f)
+	want := spath.Distance(f, mesh.C(2, 6), mesh.C(10, 6))
+	res := Route(a, RB2, mesh.C(2, 6), mesh.C(10, 6), Options{})
+	if !res.Delivered || int32(res.Hops) != want {
+		t.Fatalf("hops=%d want=%d", res.Hops, want)
+	}
+}
+
+// The E-cube baseline must already be optimal when dimension-order paths
+// are clear, so Figure 5(e)'s zero-fault anchor holds for it.
+func TestEcubeDimensionOrderClearPath(t *testing.T) {
+	m := mesh.Square(15)
+	f := fault.FromCoords(m, mesh.C(0, 14)) // fault far from the route
+	a := NewAnalysis(f)
+	res := Route(a, Ecube, mesh.C(2, 3), mesh.C(11, 9), Options{})
+	if !res.Delivered || res.Hops != 9+6 || res.DetourHops != 0 {
+		t.Fatalf("hops=%d detours=%d", res.Hops, res.DetourHops)
+	}
+	// The path is XY dimension-ordered: X fully corrected first.
+	for i := 1; i < len(res.Path); i++ {
+		if res.Path[i].Y != res.Path[i-1].Y && res.Path[i-1].X != 11 {
+			t.Fatal("E-cube moved in Y before X was corrected")
+		}
+	}
+}

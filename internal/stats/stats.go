@@ -1,0 +1,266 @@
+// Package stats provides the small statistics toolkit the experiment
+// harness uses to assemble the paper's Figure 5 series: per-sweep-point
+// accumulators with MAX/AVG reduction (the two series every panel plots),
+// and fixed-width table / CSV rendering.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Accumulator collects samples for one sweep point of one series.
+type Accumulator struct {
+	n          int
+	sum        float64
+	max        float64
+	min        float64
+	sumSquares float64
+}
+
+// Add records one sample.
+func (a *Accumulator) Add(v float64) {
+	if a.n == 0 {
+		a.max, a.min = v, v
+	} else {
+		if v > a.max {
+			a.max = v
+		}
+		if v < a.min {
+			a.min = v
+		}
+	}
+	a.n++
+	a.sum += v
+	a.sumSquares += v * v
+}
+
+// N returns the number of samples recorded.
+func (a *Accumulator) N() int { return a.n }
+
+// Avg returns the sample mean (0 when empty).
+func (a *Accumulator) Avg() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.sum / float64(a.n)
+}
+
+// Max returns the largest sample (0 when empty).
+func (a *Accumulator) Max() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.max
+}
+
+// Min returns the smallest sample (0 when empty).
+func (a *Accumulator) Min() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.min
+}
+
+// StdDev returns the population standard deviation (0 when n < 2).
+func (a *Accumulator) StdDev() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	mean := a.Avg()
+	v := a.sumSquares/float64(a.n) - mean*mean
+	if v < 0 {
+		v = 0 // guard tiny negative from float rounding
+	}
+	return math.Sqrt(v)
+}
+
+// Series is a named mapping from sweep parameter (x) to an accumulator,
+// e.g. "RB3" keyed by number of faults.
+type Series struct {
+	Name string
+	byX  map[int]*Accumulator
+}
+
+// NewSeries returns an empty series.
+func NewSeries(name string) *Series {
+	return &Series{Name: name, byX: make(map[int]*Accumulator)}
+}
+
+// Add records a sample at sweep point x.
+func (s *Series) Add(x int, v float64) {
+	acc := s.byX[x]
+	if acc == nil {
+		acc = &Accumulator{}
+		s.byX[x] = acc
+	}
+	acc.Add(v)
+}
+
+// At returns the accumulator at x, or nil if no samples were recorded.
+func (s *Series) At(x int) *Accumulator { return s.byX[x] }
+
+// Xs returns the sorted sweep points that hold samples.
+func (s *Series) Xs() []int {
+	xs := make([]int, 0, len(s.byX))
+	for x := range s.byX {
+		xs = append(xs, x)
+	}
+	sort.Ints(xs)
+	return xs
+}
+
+// Reduction selects which scalar a table column extracts from an
+// accumulator.
+type Reduction uint8
+
+// Reductions available to table columns. MAX and AVG are the two the paper
+// plots in every panel of Figure 5.
+const (
+	Avg Reduction = iota
+	Max
+	Min
+	StdDev
+	Count
+)
+
+// String names the reduction as used in column headers.
+func (r Reduction) String() string {
+	switch r {
+	case Avg:
+		return "AVG"
+	case Max:
+		return "MAX"
+	case Min:
+		return "MIN"
+	case StdDev:
+		return "STDDEV"
+	case Count:
+		return "N"
+	}
+	return "?"
+}
+
+func (r Reduction) extract(a *Accumulator) float64 {
+	if a == nil {
+		return math.NaN()
+	}
+	switch r {
+	case Avg:
+		return a.Avg()
+	case Max:
+		return a.Max()
+	case Min:
+		return a.Min()
+	case StdDev:
+		return a.StdDev()
+	case Count:
+		return float64(a.N())
+	}
+	return math.NaN()
+}
+
+// Column pairs a series with a reduction for table rendering.
+type Column struct {
+	Series    *Series
+	Reduction Reduction
+}
+
+// Header returns the rendered column header, e.g. "RB3/AVG".
+func (c Column) Header() string {
+	return c.Series.Name + "/" + c.Reduction.String()
+}
+
+// Table renders aligned columns over the union of sweep points, in the
+// style the figures' gnuplot data files would have: one row per x.
+type Table struct {
+	XLabel  string
+	Columns []Column
+	Digits  int // fractional digits; default 2
+}
+
+func (t *Table) digits() int {
+	if t.Digits <= 0 {
+		return 2
+	}
+	return t.Digits
+}
+
+// xs returns the sorted union of sweep points across columns.
+func (t *Table) xs() []int {
+	set := make(map[int]bool)
+	for _, c := range t.Columns {
+		for _, x := range c.Series.Xs() {
+			set[x] = true
+		}
+	}
+	xs := make([]int, 0, len(set))
+	for x := range set {
+		xs = append(xs, x)
+	}
+	sort.Ints(xs)
+	return xs
+}
+
+// Render returns the table as aligned fixed-width text.
+func (t *Table) Render() string {
+	var b strings.Builder
+	headers := make([]string, 0, len(t.Columns)+1)
+	headers = append(headers, t.XLabel)
+	for _, c := range t.Columns {
+		headers = append(headers, c.Header())
+	}
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+		if widths[i] < 8 {
+			widths[i] = 8
+		}
+	}
+	for i, h := range headers {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		fmt.Fprintf(&b, "%*s", widths[i], h)
+	}
+	b.WriteByte('\n')
+	for _, x := range t.xs() {
+		fmt.Fprintf(&b, "%*d", widths[0], x)
+		for i, c := range t.Columns {
+			v := c.Reduction.extract(c.Series.At(x))
+			if math.IsNaN(v) {
+				fmt.Fprintf(&b, "  %*s", widths[i+1], "-")
+			} else {
+				fmt.Fprintf(&b, "  %*.*f", widths[i+1], t.digits(), v)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// RenderCSV returns the table as comma-separated values with a header row.
+func (t *Table) RenderCSV() string {
+	var b strings.Builder
+	b.WriteString(t.XLabel)
+	for _, c := range t.Columns {
+		b.WriteByte(',')
+		b.WriteString(c.Header())
+	}
+	b.WriteByte('\n')
+	for _, x := range t.xs() {
+		fmt.Fprintf(&b, "%d", x)
+		for _, c := range t.Columns {
+			v := c.Reduction.extract(c.Series.At(x))
+			if math.IsNaN(v) {
+				b.WriteString(",")
+			} else {
+				fmt.Fprintf(&b, ",%.*f", t.digits(), v)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

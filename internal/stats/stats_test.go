@@ -1,0 +1,145 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAccumulatorBasics(t *testing.T) {
+	var a Accumulator
+	if a.N() != 0 || a.Avg() != 0 || a.Max() != 0 || a.Min() != 0 || a.StdDev() != 0 {
+		t.Error("empty accumulator must report zeros")
+	}
+	for _, v := range []float64{3, 1, 4, 1, 5} {
+		a.Add(v)
+	}
+	if a.N() != 5 {
+		t.Errorf("N = %d", a.N())
+	}
+	if got := a.Avg(); math.Abs(got-2.8) > 1e-12 {
+		t.Errorf("Avg = %v, want 2.8", got)
+	}
+	if a.Max() != 5 || a.Min() != 1 {
+		t.Errorf("Max/Min = %v/%v", a.Max(), a.Min())
+	}
+	// Population stddev of [3,1,4,1,5]: mean 2.8, var = (0.04+3.24+1.44+3.24+4.84)/5 = 2.56.
+	if got := a.StdDev(); math.Abs(got-1.6) > 1e-9 {
+		t.Errorf("StdDev = %v, want 1.6", got)
+	}
+}
+
+func TestAccumulatorNegativeValues(t *testing.T) {
+	var a Accumulator
+	a.Add(-5)
+	a.Add(-1)
+	if a.Max() != -1 || a.Min() != -5 {
+		t.Errorf("Max/Min = %v/%v, want -1/-5", a.Max(), a.Min())
+	}
+}
+
+func TestAccumulatorPropertyBounds(t *testing.T) {
+	f := func(vs []float64) bool {
+		var a Accumulator
+		finite := 0
+		for _, v := range vs {
+			// Restrict to magnitudes where sum and sum-of-squares cannot
+			// overflow; experiment metrics are percentages and hop counts.
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e12 {
+				continue
+			}
+			a.Add(v)
+			finite++
+		}
+		if finite == 0 {
+			return true
+		}
+		return a.Min() <= a.Avg()+1e-9 && a.Avg() <= a.Max()+1e-9 && a.StdDev() >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := NewSeries("RB3")
+	s.Add(100, 95)
+	s.Add(100, 97)
+	s.Add(0, 100)
+	s.Add(200, 91)
+	xs := s.Xs()
+	want := []int{0, 100, 200}
+	if len(xs) != 3 {
+		t.Fatalf("Xs = %v", xs)
+	}
+	for i := range want {
+		if xs[i] != want[i] {
+			t.Fatalf("Xs = %v, want %v", xs, want)
+		}
+	}
+	if s.At(100).N() != 2 || s.At(100).Avg() != 96 {
+		t.Error("per-x accumulation wrong")
+	}
+	if s.At(999) != nil {
+		t.Error("missing x must be nil")
+	}
+}
+
+func TestReductionStrings(t *testing.T) {
+	want := map[Reduction]string{Avg: "AVG", Max: "MAX", Min: "MIN", StdDev: "STDDEV", Count: "N"}
+	for r, s := range want {
+		if r.String() != s {
+			t.Errorf("Reduction(%d).String() = %q, want %q", r, r.String(), s)
+		}
+	}
+	if Reduction(99).String() != "?" {
+		t.Error("unknown reduction must stringify as ?")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	a := NewSeries("A")
+	bSeries := NewSeries("B")
+	a.Add(0, 1)
+	a.Add(10, 2)
+	bSeries.Add(10, 8.5)
+	tbl := Table{
+		XLabel:  "faults",
+		Columns: []Column{{a, Avg}, {a, Max}, {bSeries, Avg}},
+	}
+	out := tbl.Render()
+	if !strings.Contains(out, "A/AVG") || !strings.Contains(out, "A/MAX") || !strings.Contains(out, "B/AVG") {
+		t.Errorf("missing headers in:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 { // header + x=0 + x=10
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// x=0 row has no B sample: dash placeholder.
+	if !strings.Contains(lines[1], "-") {
+		t.Errorf("missing-data dash absent: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "8.50") {
+		t.Errorf("B value missing from row: %q", lines[2])
+	}
+}
+
+func TestTableRenderCSV(t *testing.T) {
+	a := NewSeries("pct")
+	a.Add(0, 50)
+	a.Add(5, 75.125)
+	tbl := Table{XLabel: "x", Columns: []Column{{a, Avg}}, Digits: 3}
+	out := tbl.RenderCSV()
+	want := "x,pct/AVG\n0,50.000\n5,75.125\n"
+	if out != want {
+		t.Errorf("CSV = %q, want %q", out, want)
+	}
+}
+
+func TestTableColumnHeader(t *testing.T) {
+	c := Column{Series: NewSeries("E-cube"), Reduction: Max}
+	if c.Header() != "E-cube/MAX" {
+		t.Errorf("Header = %q", c.Header())
+	}
+}

@@ -1,0 +1,72 @@
+// Package viz renders meshes, fault regions, and routing paths as ASCII
+// maps for the examples and command-line tools. The orientation matches the
+// paper's figures: +Y up, +X right.
+package viz
+
+import (
+	"strings"
+
+	"repro/internal/labeling"
+	"repro/internal/mesh"
+)
+
+// Map is a character grid over a mesh being annotated.
+type Map struct {
+	m     mesh.Mesh
+	cells []byte
+}
+
+// NewMap returns a map with every node rendered as '.'.
+func NewMap(m mesh.Mesh) *Map {
+	cells := make([]byte, m.Nodes())
+	for i := range cells {
+		cells[i] = '.'
+	}
+	return &Map{m: m, cells: cells}
+}
+
+// Set draws ch at c (ignored outside the mesh).
+func (v *Map) Set(c mesh.Coord, ch byte) {
+	if v.m.In(c) {
+		v.cells[v.m.Index(c)] = ch
+	}
+}
+
+// Labels draws the MCC labeling: '#' faulty, 'u' useless, 'c' can't-reach.
+func (v *Map) Labels(g *labeling.Grid) *Map {
+	v.m.EachNode(func(c mesh.Coord) {
+		switch g.Status(c) {
+		case labeling.Faulty:
+			v.Set(c, '#')
+		case labeling.Useless:
+			v.Set(c, 'u')
+		case labeling.CantReach:
+			v.Set(c, 'c')
+		}
+	})
+	return v
+}
+
+// Path draws a route as '*' with 'S' and 'D' endpoints.
+func (v *Map) Path(path []mesh.Coord) *Map {
+	for _, c := range path {
+		v.Set(c, '*')
+	}
+	if len(path) > 0 {
+		v.Set(path[0], 'S')
+		v.Set(path[len(path)-1], 'D')
+	}
+	return v
+}
+
+// String renders the map, top row (largest Y) first, as the figures do.
+func (v *Map) String() string {
+	var b strings.Builder
+	for y := v.m.Height() - 1; y >= 0; y-- {
+		for x := 0; x < v.m.Width(); x++ {
+			b.WriteByte(v.cells[v.m.Index(mesh.C(x, y))])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

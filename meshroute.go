@@ -1,0 +1,204 @@
+// Package meshroute is the public facade of this repository: a library for
+// fault-tolerant shortest-path routing in 2-D meshes implementing
+//
+//	Zhen Jiang and Jie Wu, "On Achieving the Shortest-Path Routing in 2-D
+//	Meshes", IPDPS 2007.
+//
+// It wraps the internal substrate — MCC labeling, fault-region geometry,
+// the B1/B2/B3 information models, and the E-cube/RB1/RB2/RB3 routing
+// algorithms — behind a small API:
+//
+//	net := meshroute.NewSquare(100)
+//	net.InjectRandom(1500, 42)           // or net.AddFault / net.AddLinkFault
+//	res, err := net.Route(meshroute.RB2, meshroute.C(3, 5), meshroute.C(90, 80))
+//	fmt.Println(res.Hops, res.Optimal)
+//
+// Analyses (labeling, region extraction, information propagation) are
+// rebuilt lazily after fault injections; routing calls reuse them. A
+// Network is not safe for concurrent use.
+package meshroute
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/fault"
+	"repro/internal/info"
+	"repro/internal/labeling"
+	"repro/internal/mcc"
+	"repro/internal/mesh"
+	"repro/internal/routing"
+	"repro/internal/spath"
+)
+
+// Coord re-exports the mesh coordinate type.
+type Coord = mesh.Coord
+
+// C constructs a coordinate.
+func C(x, y int) Coord { return mesh.C(x, y) }
+
+// Algorithm selects a routing algorithm.
+type Algorithm = routing.Algo
+
+// The supported algorithms.
+const (
+	// Ecube is the fault-tolerant dimension-order baseline.
+	Ecube = routing.Ecube
+	// RB1 routes with B1 boundary information plus detours (Algorithm 3).
+	RB1 = routing.RB1
+	// RB2 routes multi-phase on the full information model B2 (Algorithm 5);
+	// it achieves the shortest path (Theorem 1).
+	RB2 = routing.RB2
+	// RB3 routes on the practical boundary-only model B3 (Algorithm 7).
+	RB3 = routing.RB3
+)
+
+// Network is a 2-D mesh with a fault configuration and cached analyses.
+type Network struct {
+	m        mesh.Mesh
+	faults   *fault.Set
+	analysis *routing.Analysis
+	opts     routing.Options
+}
+
+// New returns a fault-free W x H mesh network.
+func New(w, h int) *Network {
+	m := mesh.New(w, h)
+	return &Network{m: m, faults: fault.NewSet(m)}
+}
+
+// NewSquare returns an n x n network, the paper's configuration.
+func NewSquare(n int) *Network { return New(n, n) }
+
+// Width returns the X extent of the mesh.
+func (n *Network) Width() int { return n.m.Width() }
+
+// Height returns the Y extent of the mesh.
+func (n *Network) Height() int { return n.m.Height() }
+
+// AddFault marks a node faulty.
+func (n *Network) AddFault(c Coord) error {
+	if !n.m.In(c) {
+		return fmt.Errorf("meshroute: %v outside %v", c, n.m)
+	}
+	n.faults.Add(c)
+	n.analysis = nil
+	return nil
+}
+
+// AddLinkFault disables a link by disabling both adjacent nodes, the
+// paper's reduction of link faults to node faults.
+func (n *Network) AddLinkFault(a, b Coord) error {
+	if err := fault.DisableLinks(n.faults, []fault.Link{{A: a, B: b}}); err != nil {
+		return err
+	}
+	n.analysis = nil
+	return nil
+}
+
+// RepairFault clears a fault.
+func (n *Network) RepairFault(c Coord) error {
+	if !n.m.In(c) {
+		return fmt.Errorf("meshroute: %v outside %v", c, n.m)
+	}
+	n.faults.Remove(c)
+	n.analysis = nil
+	return nil
+}
+
+// InjectRandom places count uniformly random faults using the given seed
+// (the paper's workload).
+func (n *Network) InjectRandom(count int, seed int64) {
+	n.faults = fault.Uniform{}.Generate(n.m, count, rand.New(rand.NewSource(seed)))
+	n.analysis = nil
+}
+
+// FaultCount returns the number of faulty nodes.
+func (n *Network) FaultCount() int { return n.faults.Count() }
+
+// Faulty reports whether c is faulty.
+func (n *Network) Faulty(c Coord) bool { return n.faults.Faulty(c) }
+
+// Connected reports whether the surviving nodes form one component.
+func (n *Network) Connected() bool { return n.faults.Connected() }
+
+// SetPolicy chooses the adaptive selection policy used by Algorithm 2
+// step 3 (default: diagonal balancing).
+func (n *Network) SetPolicy(p routing.Policy) { n.opts.Policy = p }
+
+// Result reports one routing, augmented with oracle comparisons.
+type Result struct {
+	// Path is the node sequence walked, source first.
+	Path []Coord
+	// Hops is the walked length.
+	Hops int
+	// Optimal is the true shortest-path length D(s,d) from the BFS oracle.
+	Optimal int
+	// Shortest reports whether the walk achieved the optimum.
+	Shortest bool
+	// Phases counts intermediate detour destinations used.
+	Phases int
+	// ManhattanFeasible reports whether a Manhattan-distance path existed.
+	ManhattanFeasible bool
+}
+
+// Analysis exposes the cached per-orientation analysis (lazily built).
+func (n *Network) Analysis() *routing.Analysis {
+	if n.analysis == nil {
+		n.analysis = routing.NewAnalysis(n.faults)
+	}
+	return n.analysis
+}
+
+// Unsafe reports whether c is unsafe (inside an MCC) for routings heading
+// toward the north-east quadrant, the paper's canonical orientation.
+func (n *Network) Unsafe(c Coord) bool {
+	return n.Analysis().Grid(mesh.NE).Unsafe(c)
+}
+
+// MCCs returns the fault regions for the canonical (north-east) travel
+// orientation.
+func (n *Network) MCCs() []*mcc.MCC { return n.Analysis().MCCs(mesh.NE).All() }
+
+// InfoStore builds (or returns the cached) information model for the
+// canonical orientation; useful for inspecting propagation cost.
+func (n *Network) InfoStore(m info.Model) *info.Store {
+	return n.Analysis().Store(m, mesh.NE)
+}
+
+// Route routes from s to d with the chosen algorithm and returns the
+// walked path together with oracle comparisons. It fails when an endpoint
+// is faulty/outside, when d is unreachable, or when the walk aborts.
+func (n *Network) Route(algo Algorithm, s, d Coord) (Result, error) {
+	if !n.m.In(s) || !n.m.In(d) {
+		return Result{}, fmt.Errorf("meshroute: endpoints %v -> %v outside %v", s, d, n.m)
+	}
+	if n.faults.Faulty(s) || n.faults.Faulty(d) {
+		return Result{}, fmt.Errorf("meshroute: faulty endpoint in %v -> %v", s, d)
+	}
+	optimal := spath.Distance(n.faults, s, d)
+	if optimal >= spath.Infinite {
+		return Result{}, fmt.Errorf("meshroute: %v unreachable from %v", d, s)
+	}
+	res := routing.Route(n.Analysis(), algo, s, d, n.opts)
+	if !res.Delivered {
+		return Result{}, fmt.Errorf("meshroute: %v aborted %v -> %v: %s", algo, s, d, res.Abort)
+	}
+	return Result{
+		Path:              res.Path,
+		Hops:              res.Hops,
+		Optimal:           int(optimal),
+		Shortest:          res.Hops == int(optimal),
+		Phases:            res.Phases,
+		ManhattanFeasible: spath.ManhattanReachable(n.faults, s, d),
+	}, nil
+}
+
+// LabelCounts returns the node-status census for the canonical orientation:
+// safe, faulty, useless, and can't-reach counts (Figure 5(a)'s inputs).
+func (n *Network) LabelCounts() (safe, faulty, useless, cantReach int) {
+	return n.Analysis().Grid(mesh.NE).Counts()
+}
+
+// BorderPolicy re-exports the labeling border policy for ablations.
+type BorderPolicy = labeling.BorderPolicy

@@ -1,0 +1,117 @@
+package meshroute
+
+import (
+	"testing"
+
+	"repro/internal/info"
+)
+
+func TestFacadeQuickstartFlow(t *testing.T) {
+	net := NewSquare(20)
+	net.InjectRandom(40, 42)
+	if net.FaultCount() != 40 {
+		t.Fatalf("FaultCount = %d", net.FaultCount())
+	}
+	if !net.Connected() {
+		t.Skip("seed produced a disconnected mesh")
+	}
+	routed := 0
+	for _, algo := range []Algorithm{Ecube, RB1, RB2, RB3} {
+		res, err := net.Route(algo, C(1, 1), C(18, 17))
+		if err != nil {
+			continue // endpoints may be faulty/unsafe for this seed
+		}
+		routed++
+		if res.Hops < res.Optimal {
+			t.Fatalf("%v beat the oracle", algo)
+		}
+		if algo == RB2 && !res.Shortest {
+			t.Errorf("RB2 not shortest: %d vs %d", res.Hops, res.Optimal)
+		}
+	}
+	if routed == 0 {
+		t.Skip("endpoints unusable for this seed")
+	}
+}
+
+func TestFacadeFaultManagement(t *testing.T) {
+	net := New(10, 8)
+	if net.Width() != 10 || net.Height() != 8 {
+		t.Fatal("dimensions")
+	}
+	if err := net.AddFault(C(3, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.AddLinkFault(C(5, 5), C(5, 6)); err != nil {
+		t.Fatal(err)
+	}
+	if net.FaultCount() != 3 || !net.Faulty(C(5, 6)) {
+		t.Error("link fault not applied")
+	}
+	if err := net.AddFault(C(99, 0)); err == nil {
+		t.Error("out-of-mesh fault accepted")
+	}
+	if err := net.AddLinkFault(C(0, 0), C(2, 0)); err == nil {
+		t.Error("non-adjacent link accepted")
+	}
+	if err := net.RepairFault(C(3, 3)); err != nil || net.Faulty(C(3, 3)) {
+		t.Error("repair failed")
+	}
+	if err := net.RepairFault(C(-1, 0)); err == nil {
+		t.Error("out-of-mesh repair accepted")
+	}
+}
+
+func TestFacadeAnalysisViews(t *testing.T) {
+	net := NewSquare(12)
+	// Anti-diagonal: merges into one 3x3 MCC.
+	for _, c := range []Coord{C(4, 6), C(5, 5), C(6, 4)} {
+		if err := net.AddFault(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(net.MCCs()); got != 1 {
+		t.Fatalf("MCCs = %d, want 1", got)
+	}
+	if !net.Unsafe(C(4, 4)) {
+		t.Error("useless node not reported unsafe")
+	}
+	safe, faulty, useless, cantReach := net.LabelCounts()
+	if faulty != 3 || useless != 3 || cantReach != 3 || safe != 144-9 {
+		t.Errorf("census = %d/%d/%d/%d", safe, faulty, useless, cantReach)
+	}
+	st := net.InfoStore(info.B3)
+	if st.Participants() == 0 {
+		t.Error("B3 store has no participants")
+	}
+	// Routing across the region: RB2 optimal.
+	res, err := net.Route(RB2, C(5, 2), C(5, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Shortest || res.ManhattanFeasible {
+		t.Errorf("blocked case: shortest=%v manhattan=%v", res.Shortest, res.ManhattanFeasible)
+	}
+}
+
+func TestFacadeRouteErrors(t *testing.T) {
+	net := NewSquare(6)
+	if err := net.AddFault(C(2, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Route(RB2, C(2, 2), C(5, 5)); err == nil {
+		t.Error("faulty source accepted")
+	}
+	if _, err := net.Route(RB2, C(0, 0), C(9, 9)); err == nil {
+		t.Error("outside destination accepted")
+	}
+	// Disconnect a corner: unreachable destination.
+	for _, c := range []Coord{C(4, 5), C(5, 4)} {
+		if err := net.AddFault(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := net.Route(RB2, C(0, 0), C(5, 5)); err == nil {
+		t.Error("unreachable destination accepted")
+	}
+}
