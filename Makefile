@@ -1,0 +1,29 @@
+# Mirrored by .github/workflows/ci.yml — keep the two in sync.
+
+GO ?= go
+
+.PHONY: all build vet test race bench-smoke check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The race target runs the full suite (including the engine's concurrent
+# Route-during-Swap tests and the RB2-vs-BFS oracle property tests) under
+# the race detector; -short trims the hammering loops for slow runners.
+race:
+	$(GO) test -race -short ./...
+
+# One-iteration benchmark smoke: compiles and exercises the serial and
+# parallel RB2 routing benchmarks without measuring.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkRouteRB2' -benchtime 1x .
+
+check: vet build test race bench-smoke

@@ -14,6 +14,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/engine"
 	"repro/internal/eval"
 	"repro/internal/fault"
 	"repro/internal/info"
@@ -140,23 +141,62 @@ func BenchmarkInfoB2(b *testing.B) {
 // 1500 faults (analysis cached, as in a deployed system).
 func BenchmarkRouteRB2(b *testing.B) {
 	f := benchFaults(1500)
-	a := routing.NewAnalysis(f)
+	a := routing.NewAnalysis(f).Precompute()
+	pairs := benchPairs(f, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pairs[i%len(pairs)]
+		routing.Route(a, routing.RB2, p.S, p.D, routing.Options{})
+	}
+}
+
+// benchPairs samples routable (non-faulty endpoint) pairs for the RB2
+// routing benchmarks.
+func benchPairs(f *fault.Set, count int) []engine.Pair {
 	r := rand.New(rand.NewSource(2))
-	pairs := make([][2]mesh.Coord, 64)
+	pairs := make([]engine.Pair, count)
 	for i := range pairs {
 		for {
 			s := mesh.C(r.Intn(100), r.Intn(100))
 			d := mesh.C(r.Intn(100), r.Intn(100))
 			if !f.Faulty(s) && !f.Faulty(d) {
-				pairs[i] = [2]mesh.Coord{s, d}
+				pairs[i] = engine.Pair{S: s, D: d}
 				break
 			}
 		}
 	}
+	return pairs
+}
+
+// BenchmarkRouteRB2Parallel measures aggregate RB2 routing throughput when
+// every GOMAXPROCS-th goroutine routes concurrently against one shared
+// engine snapshot — the concurrent-engine counterpart of
+// BenchmarkRouteRB2. routes/sec here versus the serial benchmark is the
+// engine's scaling headline (≥ 2x expected on a multi-core runner).
+func BenchmarkRouteRB2Parallel(b *testing.B) {
+	f := benchFaults(1500)
+	eng := engine.New(f, engine.Options{})
+	pairs := benchPairs(f, 64)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			p := pairs[i%len(pairs)]
+			i++
+			eng.Route(routing.RB2, p.S, p.D)
+		}
+	})
+}
+
+// BenchmarkRouteBatchRB2 measures the batch API end to end: one RouteBatch
+// call fanning 64 pairs across the default worker pool.
+func BenchmarkRouteBatchRB2(b *testing.B) {
+	f := benchFaults(1500)
+	eng := engine.New(f, engine.Options{})
+	pairs := benchPairs(f, 64)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		p := pairs[i%len(pairs)]
-		routing.Route(a, routing.RB2, p[0], p[1], routing.Options{})
+		eng.RouteBatch(routing.RB2, pairs, 0)
 	}
 }
 

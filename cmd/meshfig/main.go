@@ -4,7 +4,7 @@
 // Usage:
 //
 //	meshfig -fig 5a|5b|5c|5d|5e|delivery|all [-scale full|quick] [-csv]
-//	        [-trials N] [-pairs N] [-seed N]
+//	        [-trials N] [-pairs N] [-seed N] [-workers N]
 //
 // The full scale matches the paper: 100x100 mesh, faults swept 0..3000.
 package main
@@ -27,6 +27,7 @@ func main() {
 	step := flag.Int("step", 0, "override fault-count step (full scale only)")
 	pairs := flag.Int("pairs", 0, "override routed pairs per trial")
 	seed := flag.Int64("seed", 0, "override random seed")
+	workers := flag.Int("workers", 0, "trial worker pool size (0 = GOMAXPROCS); tables are identical for any value")
 	flag.Parse()
 
 	var cfg eval.Config
@@ -54,6 +55,7 @@ func main() {
 	if *seed != 0 {
 		cfg.Seed = *seed
 	}
+	cfg.Workers = *workers
 
 	panels := []struct {
 		name  string

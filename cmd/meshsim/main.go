@@ -2,10 +2,15 @@
 // pairs over many random fault configurations and reports per-algorithm
 // delivery, optimality, and cost statistics, with every knob exposed.
 //
+// Routing runs on the concurrent engine (internal/engine): each trial
+// publishes one immutable analysis snapshot and the sampled pairs are
+// routed through a worker pool sized by -workers.
+//
 // Usage:
 //
 //	meshsim [-n 100] [-faults 1500] [-trials 5] [-pairs 50] [-seed 1]
 //	        [-gen uniform|clustered|blocks] [-policy diagonal|xfirst|yfirst]
+//	        [-workers 0]
 package main
 
 import (
@@ -15,6 +20,7 @@ import (
 	"os"
 	"text/tabwriter"
 
+	"repro/internal/engine"
 	"repro/internal/fault"
 	"repro/internal/mesh"
 	"repro/internal/routing"
@@ -30,6 +36,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "base seed")
 	genName := flag.String("gen", "uniform", "fault generator: uniform, clustered, blocks")
 	policyName := flag.String("policy", "diagonal", "adaptive policy: diagonal, xfirst, yfirst")
+	workers := flag.Int("workers", 0, "routing worker pool size (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	gens := map[string]fault.Generator{
@@ -67,39 +74,40 @@ func main() {
 			fmt.Fprintf(os.Stderr, "meshsim: trial %d: no connected configuration at %d faults; skipping\n", trial, *nFaults)
 			continue
 		}
-		a := routing.NewAnalysis(f)
+		eng := engine.New(f, engine.Options{Routing: routing.Options{Policy: policy}})
+		a := eng.Snapshot().Analysis()
+		// Sample the trial's pairs sequentially (the RNG stream is part of
+		// the reproducible configuration), then fan the routing out.
+		var batch []engine.Pair
+		var optimal []int32
 		for p := 0; p < *pairs; p++ {
-			var s, d mesh.Coord
-			var optimal int32
-			found := false
 			for attempt := 0; attempt < 200; attempt++ {
-				s = mesh.C(r.Intn(*n), r.Intn(*n))
-				d = mesh.C(r.Intn(*n), r.Intn(*n))
+				s := mesh.C(r.Intn(*n), r.Intn(*n))
+				d := mesh.C(r.Intn(*n), r.Intn(*n))
 				o := mesh.OrientFor(s, d)
 				if s == d || !a.Grid(o).Safe(o.To(m, s)) || !a.Grid(o).Safe(o.To(m, d)) {
 					continue
 				}
-				if optimal = spath.Distance(f, s, d); optimal < spath.Infinite {
-					found = true
+				if dist := spath.Distance(f, s, d); dist < spath.Infinite {
+					batch = append(batch, engine.Pair{S: s, D: d})
+					optimal = append(optimal, dist)
 					break
 				}
 			}
-			if !found {
-				continue
-			}
-			for _, al := range algos {
-				res := routing.Route(a, al, s, d, routing.Options{Policy: policy})
+		}
+		for _, al := range algos {
+			for i, br := range eng.RouteBatch(al, batch, *workers) {
 				ag := perAlgo[al]
 				ag.routed++
-				if !res.Delivered {
+				if br.Err != nil || !br.Res.Delivered {
 					continue
 				}
 				ag.delivered++
-				if int32(res.Hops) == optimal {
+				if int32(br.Res.Hops) == optimal[i] {
 					ag.shortest++
 				}
-				ag.hops.Add(float64(res.Hops))
-				ag.detours.Add(float64(res.DetourHops))
+				ag.hops.Add(float64(br.Res.Hops))
+				ag.detours.Add(float64(br.Res.DetourHops))
 			}
 		}
 	}

@@ -1,0 +1,95 @@
+package meshroute
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestFacadeConcurrentRouteAndMutate locks the package-doc promise: every
+// Network method may be called from any goroutine. Readers route while a
+// writer injects and repairs faults; under -race this fails if the staging
+// mutex or the engine's snapshot publication is wrong. Each successful
+// Result must also be self-consistent (Shortest iff Hops == Optimal) —
+// one route never mixes two fault configurations.
+func TestFacadeConcurrentRouteAndMutate(t *testing.T) {
+	net := NewSquare(16)
+	net.InjectRandom(20, 3)
+
+	writes := 25
+	if testing.Short() {
+		writes = 8
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // writer: fault churn in a corner away from the routed pairs
+		defer wg.Done()
+		for i := 0; i < writes; i++ {
+			if err := net.AddFault(C(15, 0)); err != nil {
+				t.Error(err)
+				return
+			}
+			net.RepairFault(C(15, 0))
+			net.SetPolicy(PolicyXFirst)
+			net.SetPolicy(PolicyDiagonal)
+		}
+	}()
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				s := C((g+i)%8, i%8)
+				d := C(8+(i%8), 8+((g+i)%8))
+				res, err := net.Route(RB2, s, d)
+				if err != nil {
+					continue // endpoint faulty/unreachable under churn is fine
+				}
+				if res.Shortest != (res.Hops == res.Optimal) {
+					t.Errorf("inconsistent result: shortest=%v hops=%d optimal=%d",
+						res.Shortest, res.Hops, res.Optimal)
+					return
+				}
+				if res.Hops < res.Optimal {
+					t.Errorf("route beat the oracle: %d < %d", res.Hops, res.Optimal)
+					return
+				}
+				net.FaultCount() // exercise a locked read alongside
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestFacadeRouteBatchHonorsPolicy pins the SetPolicy/RouteBatch contract:
+// the batch path must route with the same adaptive policy as Route.
+func TestFacadeRouteBatchHonorsPolicy(t *testing.T) {
+	for _, policy := range []struct {
+		name string
+		p    Policy
+	}{{"diagonal", PolicyDiagonal}, {"xfirst", PolicyXFirst}, {"yfirst", PolicyYFirst}} {
+		net := NewSquare(16)
+		net.InjectRandom(30, 5)
+		net.SetPolicy(policy.p)
+		pairs := []Pair{{S: C(0, 0), D: C(15, 15)}, {S: C(2, 1), D: C(14, 12)}}
+		out := net.RouteBatch(RB2, pairs, 2)
+		for i, br := range out {
+			if br.Err != nil || !br.Res.Delivered {
+				continue
+			}
+			single, err := net.Route(RB2, pairs[i].S, pairs[i].D)
+			if err != nil {
+				t.Fatalf("%s: single route failed where batch delivered: %v", policy.name, err)
+			}
+			if len(single.Path) != len(br.Res.Path) {
+				t.Errorf("%s pair %d: batch path len %d != single path len %d — policy not applied to batch",
+					policy.name, i, len(br.Res.Path), len(single.Path))
+			}
+			for j := range single.Path {
+				if single.Path[j] != br.Res.Path[j] {
+					t.Errorf("%s pair %d: paths diverge at hop %d", policy.name, i, j)
+					break
+				}
+			}
+		}
+	}
+}

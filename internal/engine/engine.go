@@ -1,0 +1,268 @@
+// Package engine provides the concurrent routing engine: a Router that
+// serves shortest-path routing queries from any number of goroutines while
+// fault updates rebuild the analysis off to the side.
+//
+// # Design
+//
+// The paper's key property — RB2 reaches the shortest path using only
+// *precomputed* fault information (Theorem 1) — makes the routing hot path
+// read-only: once the labeling, MCC geometry, and information stores exist,
+// a routing walk consults them without writing anything shared. The engine
+// exploits that with a snapshot architecture:
+//
+//   - A Snapshot bundles one fault configuration with its fully
+//     precomputed routing.Analysis (see Analysis.Precompute). Snapshots are
+//     immutable; readers never lock.
+//   - Router holds the current Snapshot behind an atomic.Pointer. Route and
+//     RouteBatch load the pointer once and work against that snapshot for
+//     their whole call, so a concurrent swap never tears a query.
+//   - Swap / Rebuild construct the next snapshot entirely off-line (the
+//     expensive labeling fixpoint, MCC extraction, and information
+//     propagation all happen before publication) and then publish it with a
+//     single atomic store. Readers are never blocked; at most they finish
+//     their current query against the previous snapshot. Writers are
+//     serialized among themselves by a mutex.
+//
+// This is the one-writer / many-readers regime fault-tolerant routing
+// analyses assume when queries vastly outnumber fault events, and the shape
+// NoC traffic engines use for data-intensive flows.
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/fault"
+	"repro/internal/info"
+	"repro/internal/labeling"
+	"repro/internal/mesh"
+	"repro/internal/routing"
+)
+
+// Snapshot is one immutable (fault configuration, precomputed analysis)
+// pair. The fault set must not be mutated after the snapshot is built;
+// NewSnapshot clones its input to enforce that.
+type Snapshot struct {
+	faults   *fault.Set
+	analysis *routing.Analysis
+	version  uint64
+}
+
+// NewSnapshot clones f and precomputes the analysis under the given
+// labeling/selection options (all information models unless opts.Models
+// narrows them).
+func NewSnapshot(f *fault.Set, opts Options) *Snapshot {
+	frozen := f.Clone()
+	a := routing.NewAnalysisWithPolicy(frozen, opts.Border).Precompute(opts.Models...)
+	return &Snapshot{faults: frozen, analysis: a}
+}
+
+// Faults returns the snapshot's fault set. Callers must treat it as
+// read-only.
+func (s *Snapshot) Faults() *fault.Set { return s.faults }
+
+// Analysis returns the precomputed analysis. Safe for concurrent use.
+func (s *Snapshot) Analysis() *routing.Analysis { return s.analysis }
+
+// Version returns the monotone publication counter assigned by the Router
+// (0 for snapshots built directly via NewSnapshot).
+func (s *Snapshot) Version() uint64 { return s.version }
+
+// Options configure a Router.
+type Options struct {
+	// Routing tunes the per-walk options (adaptive policy, hop budget).
+	// Options.Rng must be nil: a shared rng would race across goroutines.
+	Routing routing.Options
+	// Border selects the labeling border policy (the zero value is
+	// BorderSafe, the default everywhere else).
+	Border labeling.BorderPolicy
+	// Models narrows which information models every snapshot precomputes.
+	// Empty means all three (B1, B2, B3); a router serving only RB2 can
+	// pass []info.Model{info.B2} to cut the per-publication rebuild cost.
+	// Routing an algorithm whose model was excluded is not safe.
+	Models []info.Model
+}
+
+// Router serves routing queries concurrently over an atomically swappable
+// analysis snapshot. The zero value is not usable; construct with New.
+//
+// Readers (Route, RouteBatch, Snapshot, ...) never block and never lock.
+// Writers (Swap, Rebuild, Update) are serialized by an internal mutex and
+// publish with a single atomic store.
+type Router struct {
+	snap atomic.Pointer[Snapshot]
+	mu   sync.Mutex // serializes writers; readers never take it
+	vers atomic.Uint64
+	opts Options
+}
+
+// New builds a Router serving the given fault configuration. The set is
+// cloned; later mutations of f are invisible to the router (use Swap or
+// Update to publish changes).
+func New(f *fault.Set, opts Options) *Router {
+	if opts.Routing.Rng != nil {
+		panic("engine: Options.Routing.Rng must be nil (it would race across goroutines)")
+	}
+	r := &Router{opts: opts}
+	s := NewSnapshot(f, opts)
+	s.version = r.vers.Add(1)
+	r.snap.Store(s)
+	return r
+}
+
+// Snapshot returns the current snapshot. The result is immutable and stays
+// valid (and consistent) however long the caller holds it, even across
+// concurrent swaps.
+func (r *Router) Snapshot() *Snapshot { return r.snap.Load() }
+
+// Version returns the version of the currently published snapshot.
+func (r *Router) Version() uint64 { return r.Snapshot().version }
+
+// Mesh returns the routed topology.
+func (r *Router) Mesh() mesh.Mesh { return r.Snapshot().analysis.Mesh() }
+
+// Swap publishes a snapshot of f as the new routing state, returning the
+// published snapshot. In-flight readers keep their old snapshot; new calls
+// see the new one. The expensive analysis precomputation happens before
+// the atomic publication, so readers are never exposed to a half-built
+// analysis.
+func (r *Router) Swap(f *fault.Set) *Snapshot {
+	s := NewSnapshot(f, r.opts)
+	r.mu.Lock()
+	s.version = r.vers.Add(1)
+	r.snap.Store(s)
+	r.mu.Unlock()
+	return s
+}
+
+// Update clones the current fault set, applies mutate to the clone, and
+// publishes the result — the read-copy-update path for incremental fault
+// events (node failed, node repaired).
+func (r *Router) Update(mutate func(*fault.Set)) *Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	next := r.snap.Load().faults.Clone()
+	mutate(next)
+	s := NewSnapshot(next, r.opts) // NewSnapshot clones again; harmless
+	s.version = r.vers.Add(1)
+	r.snap.Store(s)
+	return s
+}
+
+// Result reports one routed query. The raw walk result is embedded;
+// Delivered=false (with Abort set) is a valid outcome, not an error — only
+// invalid endpoints error. The engine deliberately does NOT consult the
+// BFS oracle: serving stays O(path), and measurement layers (the facade,
+// internal/eval) run internal/spath against Snapshot().Faults() themselves.
+type Result struct {
+	// Result embeds the raw walk (path, hops, phases, detour accounting).
+	routing.Result
+	// Version identifies the snapshot that served the query.
+	Version uint64
+}
+
+// Route routes s -> d with algo on the current snapshot. Safe to call from
+// any goroutine, including concurrently with Swap/Update. It fails only
+// when an endpoint is faulty or outside the mesh; an undelivered walk
+// comes back with Delivered=false and Abort set.
+func (r *Router) Route(algo routing.Algo, s, d mesh.Coord) (Result, error) {
+	return routeOn(r.Snapshot(), algo, s, d, r.opts.Routing)
+}
+
+// RouteWith routes like Route but with per-call walk options, overriding
+// the router-level routing.Options. A non-nil opt.Rng makes the call
+// unsafe to share across goroutines (math/rand.Rand is not synchronized);
+// concurrent callers must use per-goroutine options.
+func (r *Router) RouteWith(algo routing.Algo, s, d mesh.Coord, opt routing.Options) (Result, error) {
+	return routeOn(r.Snapshot(), algo, s, d, opt)
+}
+
+// Route runs one query pinned to this snapshot — for callers that need
+// several operations (the walk plus oracle lookups on Faults()) to observe
+// one consistent configuration across concurrent swaps.
+func (s *Snapshot) Route(algo routing.Algo, src, dst mesh.Coord, opt routing.Options) (Result, error) {
+	return routeOn(s, algo, src, dst, opt)
+}
+
+// routeOn runs one query against a pinned snapshot.
+func routeOn(snap *Snapshot, algo routing.Algo, s, d mesh.Coord, opt routing.Options) (Result, error) {
+	m := snap.analysis.Mesh()
+	if !m.In(s) || !m.In(d) {
+		return Result{}, fmt.Errorf("engine: endpoints %v -> %v outside %v", s, d, m)
+	}
+	if snap.faults.Faulty(s) || snap.faults.Faulty(d) {
+		return Result{}, fmt.Errorf("engine: faulty endpoint in %v -> %v", s, d)
+	}
+	return Result{
+		Result:  routing.Route(snap.analysis, algo, s, d, opt),
+		Version: snap.version,
+	}, nil
+}
+
+// Pair is one source/destination routing request.
+type Pair struct {
+	S, D mesh.Coord
+}
+
+// BatchResult pairs one request with its outcome.
+type BatchResult struct {
+	Pair Pair
+	Res  Result
+	Err  error
+}
+
+// RouteBatch routes every pair with algo across a pool of workers
+// (workers <= 0 means GOMAXPROCS) and returns the outcomes in input order.
+// The whole batch is served from one snapshot loaded at entry, so the
+// results are mutually consistent even while Swap runs concurrently.
+func (r *Router) RouteBatch(algo routing.Algo, pairs []Pair, workers int) []BatchResult {
+	return r.RouteBatchWith(algo, pairs, workers, r.opts.Routing)
+}
+
+// RouteBatchWith is RouteBatch with per-call walk options. opt.Rng must be
+// nil: the batch fans out across goroutines and math/rand.Rand is not
+// synchronized.
+func (r *Router) RouteBatchWith(algo routing.Algo, pairs []Pair, workers int, opt routing.Options) []BatchResult {
+	if opt.Rng != nil {
+		panic("engine: RouteBatchWith options must not carry an Rng (it would race across workers)")
+	}
+	out := make([]BatchResult, len(pairs))
+	if len(pairs) == 0 {
+		return out
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(pairs) {
+		workers = len(pairs)
+	}
+	snap := r.Snapshot() // one consistent snapshot for the whole batch
+	if workers == 1 {
+		for i, p := range pairs {
+			out[i].Pair = p
+			out[i].Res, out[i].Err = routeOn(snap, algo, p.S, p.D, opt)
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(pairs) {
+					return
+				}
+				p := pairs[i]
+				out[i].Pair = p
+				out[i].Res, out[i].Err = routeOn(snap, algo, p.S, p.D, opt)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,236 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/mesh"
+	"repro/internal/routing"
+	"repro/internal/spath"
+)
+
+func testFaults(t testing.TB, n, count int, seed int64) *fault.Set {
+	t.Helper()
+	m := mesh.Square(n)
+	return fault.Uniform{}.Generate(m, count, rand.New(rand.NewSource(seed)))
+}
+
+// usablePairs samples pairs with non-faulty, mutually reachable endpoints.
+func usablePairs(f *fault.Set, count int, seed int64) []Pair {
+	m := f.Mesh()
+	r := rand.New(rand.NewSource(seed))
+	var out []Pair
+	for len(out) < count {
+		s := mesh.C(r.Intn(m.Width()), r.Intn(m.Height()))
+		d := mesh.C(r.Intn(m.Width()), r.Intn(m.Height()))
+		if s == d || f.Faulty(s) || f.Faulty(d) {
+			continue
+		}
+		if spath.Distance(f, s, d) >= spath.Infinite {
+			continue
+		}
+		out = append(out, Pair{S: s, D: d})
+	}
+	return out
+}
+
+func TestRouteMatchesDirectRouting(t *testing.T) {
+	f := testFaults(t, 24, 60, 1)
+	eng := New(f, Options{})
+	a := routing.NewAnalysis(f.Clone()).Precompute()
+	for _, p := range usablePairs(f, 32, 7) {
+		for _, al := range []routing.Algo{routing.Ecube, routing.RB1, routing.RB2, routing.RB3} {
+			got, err := eng.Route(al, p.S, p.D)
+			if err != nil {
+				t.Fatalf("%v %v->%v: %v", al, p.S, p.D, err)
+			}
+			want := routing.Route(a, al, p.S, p.D, routing.Options{})
+			if got.Delivered != want.Delivered || got.Hops != want.Hops {
+				t.Fatalf("%v %v->%v: engine (%v,%d) != direct (%v,%d)",
+					al, p.S, p.D, got.Delivered, got.Hops, want.Delivered, want.Hops)
+			}
+		}
+	}
+}
+
+func TestRouteRejectsBadEndpoints(t *testing.T) {
+	m := mesh.Square(8)
+	f := fault.FromCoords(m, mesh.C(3, 3))
+	eng := New(f, Options{})
+	if _, err := eng.Route(routing.RB2, mesh.C(3, 3), mesh.C(7, 7)); err == nil {
+		t.Error("faulty source accepted")
+	}
+	if _, err := eng.Route(routing.RB2, mesh.C(0, 0), mesh.C(9, 9)); err == nil {
+		t.Error("outside destination accepted")
+	}
+}
+
+func TestRouteBatchOrderAndConsistency(t *testing.T) {
+	f := testFaults(t, 24, 60, 2)
+	eng := New(f, Options{})
+	pairs := usablePairs(f, 40, 9)
+	serial := eng.RouteBatch(routing.RB2, pairs, 1)
+	pooled := eng.RouteBatch(routing.RB2, pairs, 8)
+	if len(serial) != len(pairs) || len(pooled) != len(pairs) {
+		t.Fatalf("batch sizes %d/%d, want %d", len(serial), len(pooled), len(pairs))
+	}
+	for i := range pairs {
+		if pooled[i].Pair != pairs[i] {
+			t.Fatalf("result %d out of order: %v != %v", i, pooled[i].Pair, pairs[i])
+		}
+		if (serial[i].Err == nil) != (pooled[i].Err == nil) ||
+			serial[i].Res.Hops != pooled[i].Res.Hops ||
+			serial[i].Res.Delivered != pooled[i].Res.Delivered {
+			t.Fatalf("result %d differs across worker counts: %+v vs %+v", i, serial[i], pooled[i])
+		}
+	}
+}
+
+func TestSwapPublishesNewVersion(t *testing.T) {
+	f := testFaults(t, 16, 20, 3)
+	eng := New(f, Options{})
+	if v := eng.Version(); v != 1 {
+		t.Fatalf("initial version = %d", v)
+	}
+	s1 := eng.Snapshot()
+	next := f.Clone()
+	next.Add(mesh.C(0, 0))
+	s2 := eng.Swap(next)
+	if s2.Version() <= s1.Version() {
+		t.Fatalf("swap did not advance version: %d -> %d", s1.Version(), s2.Version())
+	}
+	if eng.Snapshot() != s2 {
+		t.Error("swap not published")
+	}
+	// The old snapshot stays valid and unchanged.
+	if s1.Faults().Faulty(mesh.C(0, 0)) {
+		t.Error("old snapshot mutated by swap")
+	}
+}
+
+func TestUpdateIsReadCopyUpdate(t *testing.T) {
+	f := testFaults(t, 16, 0, 0)
+	eng := New(f, Options{})
+	eng.Update(func(fs *fault.Set) { fs.Add(mesh.C(5, 5)) })
+	if !eng.Snapshot().Faults().Faulty(mesh.C(5, 5)) {
+		t.Error("update not applied")
+	}
+	if f.Faulty(mesh.C(5, 5)) {
+		t.Error("update leaked into the caller's set")
+	}
+	if eng.Version() != 2 {
+		t.Errorf("version = %d, want 2", eng.Version())
+	}
+}
+
+// TestConcurrentRouteDuringSwap hammers Route from many goroutines while a
+// writer continuously swaps fault configurations in and out. Under -race
+// this fails if snapshotting is wrong anywhere (torn analysis, shared walk
+// state, lazy cache fills after publication). Each delivered result must
+// also be internally consistent with the *snapshot version* that served
+// it, proving queries never mix two configurations.
+func TestConcurrentRouteDuringSwap(t *testing.T) {
+	readers, queries, swaps := 8, 300, 30
+	if testing.Short() {
+		readers, queries, swaps = 4, 100, 8
+	}
+	base := testFaults(t, 16, 26, 4)
+	alt := testFaults(t, 16, 26, 5)
+	eng := New(base, Options{})
+	// Pairs usable under both configurations so every query is answerable.
+	var pairs []Pair
+	for _, p := range usablePairs(base, 200, 11) {
+		if !alt.Faulty(p.S) && !alt.Faulty(p.D) &&
+			spath.Distance(alt, p.S, p.D) < spath.Infinite {
+			pairs = append(pairs, p)
+		}
+		if len(pairs) >= 24 {
+			break
+		}
+	}
+	if len(pairs) == 0 {
+		t.Fatal("no pairs usable under both configurations")
+	}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // writer
+		defer wg.Done()
+		for i := 0; i < swaps; i++ {
+			if i%2 == 0 {
+				eng.Swap(alt)
+			} else {
+				eng.Swap(base)
+			}
+		}
+		stop.Store(true)
+	}()
+	errs := make(chan error, readers)
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for q := 0; q < queries || !stop.Load(); q++ {
+				p := pairs[(g+q)%len(pairs)]
+				snap := eng.Snapshot()
+				res, err := eng.Route(routing.RB2, p.S, p.D)
+				if err != nil {
+					errs <- err
+					return
+				}
+				// The result's version must be a real published version,
+				// at least as new as the snapshot observed before the call.
+				if res.Version < snap.Version() || res.Version > eng.Version() {
+					errs <- fmt.Errorf("result version %d outside window [%d, now]",
+						res.Version, snap.Version())
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentBatchDuringUpdate drives RouteBatch concurrently with
+// read-copy-update fault events; every batch must come back fully served
+// by a single snapshot (uniform version across the batch).
+func TestConcurrentBatchDuringUpdate(t *testing.T) {
+	f := testFaults(t, 20, 30, 6)
+	eng := New(f, Options{})
+	pairs := usablePairs(f, 16, 13)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			c := mesh.C(19, 19)
+			eng.Update(func(fs *fault.Set) { fs.Add(c) })
+			eng.Update(func(fs *fault.Set) { fs.Remove(c) })
+		}
+	}()
+	for i := 0; i < 30; i++ {
+		out := eng.RouteBatch(routing.RB2, pairs, 4)
+		var version uint64
+		for j, br := range out {
+			if br.Err != nil {
+				continue
+			}
+			if version == 0 {
+				version = br.Res.Version
+			} else if br.Res.Version != version {
+				t.Fatalf("batch %d result %d served by snapshot %d, batch started on %d",
+					i, j, br.Res.Version, version)
+			}
+		}
+	}
+	wg.Wait()
+}

@@ -1,0 +1,75 @@
+package eval
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// detCfg is a trimmed Quick sweep: small enough to run four times in a
+// test, wide enough to cross several sweep points and exercise the routed
+// figures' full pipeline (connected-set draw, pair sampling, all four
+// algorithms).
+func detCfg(workers int) Config {
+	cfg := Quick()
+	cfg.MeshSize = 20
+	cfg.FaultCounts = []int{0, 30, 60}
+	cfg.Trials = 3
+	cfg.Pairs = 6
+	cfg.Workers = workers
+	return cfg
+}
+
+// TestTablesDeterministicAcrossRuns locks repeat-run determinism: the same
+// configuration must render byte-identical tables twice in a row.
+func TestTablesDeterministicAcrossRuns(t *testing.T) {
+	for _, panel := range []struct {
+		name string
+		run  func(Config) *stats.Table
+	}{
+		{"Fig5a", Fig5a}, {"Fig5d", Fig5d},
+	} {
+		first := panel.run(detCfg(2)).Render()
+		second := panel.run(detCfg(2)).Render()
+		if first != second {
+			t.Errorf("%s differs across identical runs:\n--- first\n%s--- second\n%s",
+				panel.name, first, second)
+		}
+	}
+}
+
+// TestTablesDeterministicAcrossWorkerCounts locks in the per-worker-RNG
+// design: every (sweep point, trial) derives its own RNG from Config.Seed
+// and samples are merged in serial order, so the rendered table must be
+// byte-identical at workers=1 and workers=N — for the cheap panels and the
+// full routed sweep alike.
+func TestTablesDeterministicAcrossWorkerCounts(t *testing.T) {
+	for _, panel := range []struct {
+		name string
+		run  func(Config) *stats.Table
+	}{
+		{"Fig5a", Fig5a}, {"Fig5b", Fig5b}, {"Fig5c", Fig5c},
+		{"Fig5d", Fig5d}, {"Fig5e", Fig5e}, {"DeliveryRates", DeliveryRates},
+	} {
+		serial := panel.run(detCfg(1)).Render()
+		pooled := panel.run(detCfg(8)).Render()
+		if serial != pooled {
+			t.Errorf("%s differs between workers=1 and workers=8:\n--- serial\n%s--- pooled\n%s",
+				panel.name, serial, pooled)
+		}
+		if len(serial) == 0 {
+			t.Errorf("%s rendered empty", panel.name)
+		}
+	}
+}
+
+// TestCSVDeterministicAcrossWorkerCounts covers the CSV renderer too — the
+// byte-identity contract is on the emitted artifacts, not one format.
+func TestCSVDeterministicAcrossWorkerCounts(t *testing.T) {
+	serial := Fig5e(detCfg(1)).RenderCSV()
+	pooled := Fig5e(detCfg(4)).RenderCSV()
+	if serial != pooled {
+		t.Errorf("Fig5e CSV differs between worker counts:\n--- serial\n%s--- pooled\n%s",
+			serial, pooled)
+	}
+}

@@ -12,6 +12,9 @@ package eval
 
 import (
 	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/fault"
 	"repro/internal/info"
@@ -41,6 +44,11 @@ type Config struct {
 	Policy routing.Policy
 	// Border selects the labeling border policy (ablation; default safe).
 	Border labeling.BorderPolicy
+	// Workers bounds the goroutines sweeping trials; <= 0 means
+	// GOMAXPROCS. Tables are byte-identical for every worker count: each
+	// (sweep point, trial) draws from its own seed-derived RNG and the
+	// emitted samples are merged back in serial order.
+	Workers int
 }
 
 // Default reproduces the paper's scale: 100x100 mesh, faults 0..3000 in
@@ -87,21 +95,72 @@ func (c Config) connectedSet(m mesh.Mesh, faults, trial int) (*fault.Set, *rand.
 	return fault.Uniform{}.Generate(m, faults, r), r, true
 }
 
+// sample is one measurement a trial body emits: series index and value.
+type sample struct {
+	si int
+	v  float64
+}
+
+// sweep runs body once per (fault count, trial) pair across cfg.Workers
+// goroutines and replays every emitted sample into series in the serial
+// sweep order. Each pair already owns a seed-derived RNG (Config.rng), so
+// the bodies are order-independent, and the ordered replay makes the
+// resulting tables byte-identical for every worker count — float
+// accumulation happens in one fixed order.
+func (c Config) sweep(series []*stats.Series, body func(n, trial int, emit func(si int, v float64))) {
+	type job struct{ n, trial int }
+	jobs := make([]job, 0, len(c.FaultCounts)*c.Trials)
+	for _, n := range c.FaultCounts {
+		for trial := 0; trial < c.Trials; trial++ {
+			jobs = append(jobs, job{n, trial})
+		}
+	}
+	emitted := make([][]sample, len(jobs))
+	workers := c.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(jobs) {
+					return
+				}
+				body(jobs[i].n, jobs[i].trial, func(si int, v float64) {
+					emitted[i] = append(emitted[i], sample{si, v})
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	for i, j := range jobs {
+		for _, s := range emitted[i] {
+			series[s.si].Add(j.n, s.v)
+		}
+	}
+}
+
 // Fig5a measures the percentage of disabled (unsafe) area to the total
 // area of the mesh: series MAX and AVG over trials per fault count.
 func Fig5a(cfg Config) *stats.Table {
 	series := stats.NewSeries("disabled%")
 	m := mesh.Square(cfg.MeshSize)
-	for _, n := range cfg.FaultCounts {
-		for trial := 0; trial < cfg.Trials; trial++ {
-			f, _, ok := cfg.connectedSet(m, n, trial)
-			if !ok {
-				continue
-			}
-			g := labeling.Compute(f, cfg.Border)
-			series.Add(n, 100*float64(g.UnsafeCount())/float64(m.Nodes()))
+	cfg.sweep([]*stats.Series{series}, func(n, trial int, emit func(int, float64)) {
+		f, _, ok := cfg.connectedSet(m, n, trial)
+		if !ok {
+			return
 		}
-	}
+		g := labeling.Compute(f, cfg.Border)
+		emit(0, 100*float64(g.UnsafeCount())/float64(m.Nodes()))
+	})
 	return &stats.Table{
 		XLabel:  "faults",
 		Columns: []stats.Column{{Series: series, Reduction: stats.Max}, {Series: series, Reduction: stats.Avg}},
@@ -112,16 +171,14 @@ func Fig5a(cfg Config) *stats.Table {
 func Fig5b(cfg Config) *stats.Table {
 	series := stats.NewSeries("MCCs")
 	m := mesh.Square(cfg.MeshSize)
-	for _, n := range cfg.FaultCounts {
-		for trial := 0; trial < cfg.Trials; trial++ {
-			f, _, ok := cfg.connectedSet(m, n, trial)
-			if !ok {
-				continue
-			}
-			set := mcc.Extract(labeling.Compute(f, cfg.Border))
-			series.Add(n, float64(set.Len()))
+	cfg.sweep([]*stats.Series{series}, func(n, trial int, emit func(int, float64)) {
+		f, _, ok := cfg.connectedSet(m, n, trial)
+		if !ok {
+			return
 		}
-	}
+		set := mcc.Extract(labeling.Compute(f, cfg.Border))
+		emit(0, float64(set.Len()))
+	})
 	return &stats.Table{
 		XLabel:  "faults",
 		Columns: []stats.Column{{Series: series, Reduction: stats.Max}, {Series: series, Reduction: stats.Avg}},
@@ -138,23 +195,21 @@ func Fig5c(cfg Config) *stats.Table {
 		series[i] = stats.NewSeries(mod.String())
 	}
 	m := mesh.Square(cfg.MeshSize)
-	for _, n := range cfg.FaultCounts {
-		for trial := 0; trial < cfg.Trials; trial++ {
-			f, _, ok := cfg.connectedSet(m, n, trial)
-			if !ok {
-				continue
-			}
-			g := labeling.Compute(f, cfg.Border)
-			if g.SafeCount() == 0 {
-				continue
-			}
-			set := mcc.Extract(g)
-			for i, mod := range models {
-				st := info.Build(mod, set)
-				series[i].Add(n, 100*float64(st.Participants())/float64(g.SafeCount()))
-			}
+	cfg.sweep(series, func(n, trial int, emit func(int, float64)) {
+		f, _, ok := cfg.connectedSet(m, n, trial)
+		if !ok {
+			return
 		}
-	}
+		g := labeling.Compute(f, cfg.Border)
+		if g.SafeCount() == 0 {
+			return
+		}
+		set := mcc.Extract(g)
+		for i, mod := range models {
+			st := info.Build(mod, set)
+			emit(i, 100*float64(st.Participants())/float64(g.SafeCount()))
+		}
+	})
 	var cols []stats.Column
 	for _, s := range series {
 		cols = append(cols, stats.Column{Series: s, Reduction: stats.Max}, stats.Column{Series: s, Reduction: stats.Avg})
@@ -192,54 +247,58 @@ func (p pairSampler) draw() (s, d mesh.Coord, optimal int32, ok bool) {
 }
 
 // routedFigures runs the routing sweep shared by Figures 5(d) and 5(e),
-// returning success-rate and relative-error series per algorithm.
+// returning success-rate and relative-error series per algorithm. Trials
+// run in parallel (Config.Workers); each trial builds its own analysis and
+// RNG, so no routing state is shared across goroutines.
 func routedFigures(cfg Config, algos []routing.Algo) (success, relerr, delivered map[routing.Algo]*stats.Series) {
 	success = map[routing.Algo]*stats.Series{}
 	relerr = map[routing.Algo]*stats.Series{}
 	delivered = map[routing.Algo]*stats.Series{}
+	// Flat series layout for the sweep: per algorithm index ai, the series
+	// indices are 3*ai (success), 3*ai+1 (relerr), 3*ai+2 (delivered).
+	flat := make([]*stats.Series, 0, 3*len(algos))
 	for _, al := range algos {
 		success[al] = stats.NewSeries(al.String())
 		relerr[al] = stats.NewSeries(al.String())
 		delivered[al] = stats.NewSeries(al.String())
+		flat = append(flat, success[al], relerr[al], delivered[al])
 	}
 	m := mesh.Square(cfg.MeshSize)
 	opt := routing.Options{Policy: cfg.Policy}
-	for _, n := range cfg.FaultCounts {
-		for trial := 0; trial < cfg.Trials; trial++ {
-			f, r, ok := cfg.connectedSet(m, n, trial)
+	cfg.sweep(flat, func(n, trial int, emit func(int, float64)) {
+		f, r, ok := cfg.connectedSet(m, n, trial)
+		if !ok {
+			return
+		}
+		a := routing.NewAnalysisWithPolicy(f, cfg.Border)
+		sampler := pairSampler{m: m, a: a, r: r}
+		for i := 0; i < cfg.Pairs; i++ {
+			s, d, optimal, ok := sampler.draw()
 			if !ok {
-				continue
+				break
 			}
-			a := routing.NewAnalysisWithPolicy(f, cfg.Border)
-			sampler := pairSampler{m: m, a: a, r: r}
-			for i := 0; i < cfg.Pairs; i++ {
-				s, d, optimal, ok := sampler.draw()
-				if !ok {
-					break
+			for ai, al := range algos {
+				res := routing.Route(a, al, s, d, opt)
+				if !res.Delivered {
+					// Undelivered: counts against the success rate and
+					// the delivery series; excluded from path-length
+					// averages (no length to compare).
+					emit(3*ai, 0)
+					emit(3*ai+2, 0)
+					continue
 				}
-				for _, al := range algos {
-					res := routing.Route(a, al, s, d, opt)
-					if !res.Delivered {
-						// Undelivered: counts against the success rate and
-						// the delivery series; excluded from path-length
-						// averages (no length to compare).
-						success[al].Add(n, 0)
-						delivered[al].Add(n, 0)
-						continue
-					}
-					delivered[al].Add(n, 100)
-					if int32(res.Hops) == optimal {
-						success[al].Add(n, 100)
-					} else {
-						success[al].Add(n, 0)
-					}
-					if optimal > 0 {
-						relerr[al].Add(n, float64(res.Hops-int(optimal))/float64(optimal))
-					}
+				emit(3*ai+2, 100)
+				if int32(res.Hops) == optimal {
+					emit(3*ai, 100)
+				} else {
+					emit(3*ai, 0)
+				}
+				if optimal > 0 {
+					emit(3*ai+1, float64(res.Hops-int(optimal))/float64(optimal))
 				}
 			}
 		}
-	}
+	})
 	return success, relerr, delivered
 }
 

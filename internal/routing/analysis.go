@@ -33,8 +33,20 @@ import (
 )
 
 // Analysis caches the per-orientation derived state for one fault
-// configuration. It is not safe for concurrent use; experiments build one
-// per trial.
+// configuration.
+//
+// # Concurrency model
+//
+// An Analysis is immutable after build: the labeling grids, MCC sets, and
+// information stores it holds are constructed once and never mutated by
+// queries or routings (routing walks keep all their state in per-call walk
+// structures). The only mutation Analysis itself performs is filling its
+// lazy per-orientation caches on first access, which makes the *lazy* form
+// single-threaded. Call Precompute to force every cache eagerly; after
+// Precompute returns, the Analysis is safe for unlimited concurrent readers
+// (Route, Grid, MCCs, Store, ...) with no locking — this is the snapshot
+// contract internal/engine builds on. Callers must also stop mutating the
+// underlying fault.Set once the Analysis is shared.
 type Analysis struct {
 	m      mesh.Mesh
 	faults *fault.Set
@@ -84,6 +96,24 @@ func (a *Analysis) Store(model info.Model, o mesh.Orient) *info.Store {
 		a.stores[model][o] = info.Build(model, a.MCCs(o))
 	}
 	return a.stores[model][o]
+}
+
+// Precompute eagerly builds the labeling grid, MCC set, and the given
+// information stores for every orientation, then returns a. With no models
+// it builds all three (B1, B2, B3). Afterwards every query path is
+// read-only and the Analysis may be shared freely across goroutines.
+func (a *Analysis) Precompute(models ...info.Model) *Analysis {
+	if len(models) == 0 {
+		models = []info.Model{info.B1, info.B2, info.B3}
+	}
+	for o := mesh.Orient(0); o < mesh.NumOrients; o++ {
+		a.Grid(o)
+		a.MCCs(o)
+		for _, mod := range models {
+			a.Store(mod, o)
+		}
+	}
+	return a
 }
 
 // env bundles the canonical-frame state one routing leg works against.

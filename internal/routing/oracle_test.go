@@ -1,0 +1,135 @@
+package routing
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fault"
+	"repro/internal/mesh"
+	"repro/internal/spath"
+)
+
+// The oracle properties every RB2 route must satisfy against the
+// independent BFS shortest-path oracle of internal/spath:
+//
+//  1. A delivered walk is a legal path: starts at s, ends at d, every hop
+//     crosses one mesh link, no node is faulty or outside the mesh.
+//  2. No walk ever beats the oracle: Hops >= D(s,d).
+//  3. Whenever the implementation claims optimality (Hops == D(s,d) is how
+//     the facade derives Shortest), the claim is consistent with the
+//     oracle by construction — locked here by recomputing D(s,d)
+//     independently and comparing.
+//
+// checkOracle runs all three for one routed pair; it returns false when
+// the pair was not routable (skipped), true otherwise.
+func checkOracle(t *testing.T, a *Analysis, algo Algo, s, d mesh.Coord) bool {
+	t.Helper()
+	f := a.Faults()
+	if s == d || f.Faulty(s) || f.Faulty(d) {
+		return false
+	}
+	optimal := spath.Distance(f, s, d)
+	if optimal >= spath.Infinite {
+		return false
+	}
+	res := Route(a, algo, s, d, Options{})
+	if !res.Delivered {
+		// Delivery itself is measured by Figure 5's evaluation, not
+		// asserted here; an undelivered walk still must not have walked
+		// through a fault or off the mesh.
+		for _, c := range res.Path {
+			if !f.Mesh().In(c) {
+				t.Fatalf("%v %v->%v: aborted walk left the mesh at %v", algo, s, d, c)
+			}
+			if f.Faulty(c) {
+				t.Fatalf("%v %v->%v: aborted walk entered faulty %v", algo, s, d, c)
+			}
+		}
+		return true
+	}
+	if !spath.PathValid(f, s, d, res.Path) {
+		t.Fatalf("%v %v->%v: invalid path %v", algo, s, d, res.Path)
+	}
+	if res.Hops != len(res.Path)-1 {
+		t.Fatalf("%v %v->%v: Hops=%d but len(Path)-1=%d", algo, s, d, res.Hops, len(res.Path)-1)
+	}
+	if int32(res.Hops) < optimal {
+		t.Fatalf("%v %v->%v: beat the BFS oracle: %d < %d", algo, s, d, res.Hops, optimal)
+	}
+	if int32(res.Hops) == optimal && res.Hops < s.Manhattan(d) {
+		t.Fatalf("%v %v->%v: optimal %d below Manhattan distance %d", algo, s, d,
+			res.Hops, s.Manhattan(d))
+	}
+	return true
+}
+
+// TestOracleRB2RandomizedSweep is the seeded table-driven oracle check:
+// random mesh sizes, densities, and pairs, every RB2 (and RB1/RB3/E-cube)
+// route cross-checked against BFS.
+func TestOracleRB2RandomizedSweep(t *testing.T) {
+	cases := []struct {
+		name   string
+		side   int
+		faults int
+		trials int
+		pairs  int
+		seed   int64
+	}{
+		{"sparse-12", 12, 8, 6, 30, 101},
+		{"mid-20", 20, 60, 5, 25, 102},
+		{"dense-16", 16, 60, 5, 25, 103},
+		{"large-32", 32, 150, 3, 20, 104},
+	}
+	algos := []Algo{Ecube, RB1, RB2, RB3}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := rand.New(rand.NewSource(tc.seed))
+			m := mesh.Square(tc.side)
+			for trial := 0; trial < tc.trials; trial++ {
+				f := fault.Uniform{}.Generate(m, tc.faults, r)
+				a := NewAnalysis(f)
+				checked := 0
+				for i := 0; i < tc.pairs; i++ {
+					s := mesh.C(r.Intn(tc.side), r.Intn(tc.side))
+					d := mesh.C(r.Intn(tc.side), r.Intn(tc.side))
+					for _, algo := range algos {
+						if checkOracle(t, a, algo, s, d) {
+							checked++
+						}
+					}
+				}
+				if checked == 0 {
+					t.Logf("trial %d: no routable pairs", trial)
+				}
+			}
+		})
+	}
+}
+
+// TestOracleRB2Quick is the testing/quick variant: the generator owns the
+// whole configuration (mesh size, fault placement, endpoints), so the
+// shrink-free randomized search covers corners the table misses.
+func TestOracleRB2Quick(t *testing.T) {
+	property := func(sideSeed, faultSeed, pairSeed int64) bool {
+		side := 8 + int(uint64(sideSeed)%17) // 8..24
+		count := int(uint64(faultSeed) % uint64(side*side/4))
+		m := mesh.Square(side)
+		f := fault.Uniform{}.Generate(m, count, rand.New(rand.NewSource(faultSeed)))
+		a := NewAnalysis(f)
+		pr := rand.New(rand.NewSource(pairSeed))
+		for i := 0; i < 8; i++ {
+			s := mesh.C(pr.Intn(side), pr.Intn(side))
+			d := mesh.C(pr.Intn(side), pr.Intn(side))
+			checkOracle(t, a, RB2, s, d)
+		}
+		return !t.Failed()
+	}
+	cfg := &quick.Config{MaxCount: 25}
+	if testing.Short() {
+		cfg.MaxCount = 8
+	}
+	if err := quick.Check(property, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

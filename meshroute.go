@@ -13,15 +13,27 @@
 //	res, err := net.Route(meshroute.RB2, meshroute.C(3, 5), meshroute.C(90, 80))
 //	fmt.Println(res.Hops, res.Optimal)
 //
-// Analyses (labeling, region extraction, information propagation) are
-// rebuilt lazily after fault injections; routing calls reuse them. A
-// Network is not safe for concurrent use.
+// # Concurrency
+//
+// Routing runs on the concurrent engine of internal/engine: fault
+// injections stage changes, and the first routing (or analysis) call after
+// a change publishes an immutable precomputed snapshot behind an atomic
+// pointer. Every Network method is safe to call from any goroutine: the
+// staging state (fault edits, policy, publication bookkeeping) is guarded
+// by a short internal mutex, while the routing hot path runs lock-free
+// against the published snapshot — one Route pins one snapshot for its
+// whole call (walk and oracle included), so concurrent fault publications
+// never produce a mixed-configuration result. RouteBatch additionally fans
+// one batch of pairs out across a worker pool, all served from a single
+// snapshot.
 package meshroute
 
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
+	"repro/internal/engine"
 	"repro/internal/fault"
 	"repro/internal/info"
 	"repro/internal/labeling"
@@ -53,18 +65,41 @@ const (
 	RB3 = routing.RB3
 )
 
-// Network is a 2-D mesh with a fault configuration and cached analyses.
+// Policy re-exports the adaptive selection policy of Algorithm 2 step 3.
+type Policy = routing.Policy
+
+// The selection policies SetPolicy accepts.
+const (
+	// PolicyDiagonal balances the remaining offsets (the default).
+	PolicyDiagonal = routing.PolicyDiagonal
+	// PolicyXFirst always prefers +X when admissible.
+	PolicyXFirst = routing.PolicyXFirst
+	// PolicyYFirst always prefers +Y when admissible.
+	PolicyYFirst = routing.PolicyYFirst
+)
+
+// Pair is one source/destination request for RouteBatch.
+type Pair = engine.Pair
+
+// BatchResult is one RouteBatch outcome (request, engine result, error).
+type BatchResult = engine.BatchResult
+
+// Network is a 2-D mesh with a fault configuration and a concurrent
+// routing engine serving precomputed analysis snapshots.
 type Network struct {
-	m        mesh.Mesh
-	faults   *fault.Set
-	analysis *routing.Analysis
-	opts     routing.Options
+	m mesh.Mesh
+
+	mu     sync.Mutex // guards staged, router, dirty, opts
+	staged *fault.Set // mutable staging copy; published to the engine on sync
+	router *engine.Router
+	dirty  bool
+	opts   routing.Options
 }
 
 // New returns a fault-free W x H mesh network.
 func New(w, h int) *Network {
 	m := mesh.New(w, h)
-	return &Network{m: m, faults: fault.NewSet(m)}
+	return &Network{m: m, staged: fault.NewSet(m), dirty: true}
 }
 
 // NewSquare returns an n x n network, the paper's configuration.
@@ -81,18 +116,22 @@ func (n *Network) AddFault(c Coord) error {
 	if !n.m.In(c) {
 		return fmt.Errorf("meshroute: %v outside %v", c, n.m)
 	}
-	n.faults.Add(c)
-	n.analysis = nil
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.staged.Add(c)
+	n.dirty = true
 	return nil
 }
 
 // AddLinkFault disables a link by disabling both adjacent nodes, the
 // paper's reduction of link faults to node faults.
 func (n *Network) AddLinkFault(a, b Coord) error {
-	if err := fault.DisableLinks(n.faults, []fault.Link{{A: a, B: b}}); err != nil {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if err := fault.DisableLinks(n.staged, []fault.Link{{A: a, B: b}}); err != nil {
 		return err
 	}
-	n.analysis = nil
+	n.dirty = true
 	return nil
 }
 
@@ -101,30 +140,50 @@ func (n *Network) RepairFault(c Coord) error {
 	if !n.m.In(c) {
 		return fmt.Errorf("meshroute: %v outside %v", c, n.m)
 	}
-	n.faults.Remove(c)
-	n.analysis = nil
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.staged.Remove(c)
+	n.dirty = true
 	return nil
 }
 
 // InjectRandom places count uniformly random faults using the given seed
 // (the paper's workload).
 func (n *Network) InjectRandom(count int, seed int64) {
-	n.faults = fault.Uniform{}.Generate(n.m, count, rand.New(rand.NewSource(seed)))
-	n.analysis = nil
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.staged = fault.Uniform{}.Generate(n.m, count, rand.New(rand.NewSource(seed)))
+	n.dirty = true
 }
 
 // FaultCount returns the number of faulty nodes.
-func (n *Network) FaultCount() int { return n.faults.Count() }
+func (n *Network) FaultCount() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.staged.Count()
+}
 
 // Faulty reports whether c is faulty.
-func (n *Network) Faulty(c Coord) bool { return n.faults.Faulty(c) }
+func (n *Network) Faulty(c Coord) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.staged.Faulty(c)
+}
 
 // Connected reports whether the surviving nodes form one component.
-func (n *Network) Connected() bool { return n.faults.Connected() }
+func (n *Network) Connected() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.staged.Connected()
+}
 
 // SetPolicy chooses the adaptive selection policy used by Algorithm 2
 // step 3 (default: diagonal balancing).
-func (n *Network) SetPolicy(p routing.Policy) { n.opts.Policy = p }
+func (n *Network) SetPolicy(p routing.Policy) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.opts.Policy = p
+}
 
 // Result reports one routing, augmented with oracle comparisons.
 type Result struct {
@@ -142,12 +201,35 @@ type Result struct {
 	ManhattanFeasible bool
 }
 
-// Analysis exposes the cached per-orientation analysis (lazily built).
-func (n *Network) Analysis() *routing.Analysis {
-	if n.analysis == nil {
-		n.analysis = routing.NewAnalysis(n.faults)
+// syncLocked publishes pending fault changes and returns the router plus
+// the current walk options. Callers must hold n.mu; the returned values
+// are safe to use after release (router is concurrent, opts is a copy).
+func (n *Network) syncLocked() (*engine.Router, routing.Options) {
+	if n.router == nil {
+		n.router = engine.New(n.staged, engine.Options{})
+		n.dirty = false
+	} else if n.dirty {
+		n.router.Swap(n.staged)
+		n.dirty = false
 	}
-	return n.analysis
+	return n.router, n.opts
+}
+
+// Engine publishes pending fault changes (if any) and returns the routing
+// engine. The returned Router is safe for concurrent use; its snapshot
+// reflects the staged configuration at call time.
+func (n *Network) Engine() *engine.Router {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	eng, _ := n.syncLocked()
+	return eng
+}
+
+// Analysis exposes the current precomputed per-orientation analysis,
+// publishing staged fault changes first. The returned Analysis is
+// immutable and safe for concurrent use.
+func (n *Network) Analysis() *routing.Analysis {
+	return n.Engine().Snapshot().Analysis()
 }
 
 // Unsafe reports whether c is unsafe (inside an MCC) for routings heading
@@ -160,8 +242,8 @@ func (n *Network) Unsafe(c Coord) bool {
 // orientation.
 func (n *Network) MCCs() []*mcc.MCC { return n.Analysis().MCCs(mesh.NE).All() }
 
-// InfoStore builds (or returns the cached) information model for the
-// canonical orientation; useful for inspecting propagation cost.
+// InfoStore returns the information model for the canonical orientation;
+// useful for inspecting propagation cost.
 func (n *Network) InfoStore(m info.Model) *info.Store {
 	return n.Analysis().Store(m, mesh.NE)
 }
@@ -173,14 +255,24 @@ func (n *Network) Route(algo Algorithm, s, d Coord) (Result, error) {
 	if !n.m.In(s) || !n.m.In(d) {
 		return Result{}, fmt.Errorf("meshroute: endpoints %v -> %v outside %v", s, d, n.m)
 	}
-	if n.faults.Faulty(s) || n.faults.Faulty(d) {
+	n.mu.Lock()
+	eng, opts := n.syncLocked()
+	n.mu.Unlock()
+	// Pin one snapshot for the whole call: endpoint checks, walk, and
+	// oracle comparisons all observe the same configuration even if a
+	// concurrent mutator publishes mid-route.
+	snap := eng.Snapshot()
+	if snap.Faults().Faulty(s) || snap.Faults().Faulty(d) {
 		return Result{}, fmt.Errorf("meshroute: faulty endpoint in %v -> %v", s, d)
 	}
-	optimal := spath.Distance(n.faults, s, d)
+	optimal := spath.Distance(snap.Faults(), s, d)
 	if optimal >= spath.Infinite {
 		return Result{}, fmt.Errorf("meshroute: %v unreachable from %v", d, s)
 	}
-	res := routing.Route(n.Analysis(), algo, s, d, n.opts)
+	res, err := snap.Route(algo, s, d, opts)
+	if err != nil {
+		return Result{}, fmt.Errorf("meshroute: %w", err)
+	}
 	if !res.Delivered {
 		return Result{}, fmt.Errorf("meshroute: %v aborted %v -> %v: %s", algo, s, d, res.Abort)
 	}
@@ -190,8 +282,19 @@ func (n *Network) Route(algo Algorithm, s, d Coord) (Result, error) {
 		Optimal:           int(optimal),
 		Shortest:          res.Hops == int(optimal),
 		Phases:            res.Phases,
-		ManhattanFeasible: spath.ManhattanReachable(n.faults, s, d),
+		ManhattanFeasible: spath.ManhattanReachable(snap.Faults(), s, d),
 	}, nil
+}
+
+// RouteBatch routes every pair with algo across a pool of workers
+// (workers <= 0 means GOMAXPROCS), publishing staged fault changes first.
+// Results come back in input order, honor the policy set via SetPolicy,
+// and are all served from one consistent snapshot.
+func (n *Network) RouteBatch(algo Algorithm, pairs []Pair, workers int) []BatchResult {
+	n.mu.Lock()
+	eng, opts := n.syncLocked()
+	n.mu.Unlock()
+	return eng.RouteBatchWith(algo, pairs, workers, opts)
 }
 
 // LabelCounts returns the node-status census for the canonical orientation:
