@@ -1,8 +1,11 @@
 # Mirrored by .github/workflows/ci.yml — keep the two in sync.
 
 GO ?= go
+# Machine-readable benchmark output (see bench-json).
+BENCH_JSON ?= BENCH_routing.json
+BENCH_PATTERN ?= BenchmarkRoute
 
-.PHONY: all build vet test race bench-smoke check
+.PHONY: all build vet fmt-check staticcheck test race bench-smoke bench-json check
 
 all: check
 
@@ -12,12 +15,29 @@ build:
 vet:
 	$(GO) vet ./...
 
+# Fails when any file needs gofmt; prints the offenders.
+fmt-check:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+# Runs staticcheck when installed; skips (with a hint) when not, so the
+# gate never requires network access. CI installs it explicitly.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+
 test:
 	$(GO) test ./...
 
 # The race target runs the full suite (including the engine's concurrent
-# Route-during-Swap tests and the RB2-vs-BFS oracle property tests) under
-# the race detector; -short trims the hammering loops for slow runners.
+# Route-during-Swap tests, the batch-cancellation tests, and the RB2-vs-BFS
+# oracle property tests) under the race detector; -short trims the
+# hammering loops for slow runners.
 race:
 	$(GO) test -race -short ./...
 
@@ -26,4 +46,13 @@ race:
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkRouteRB2' -benchtime 1x .
 
-check: vet build test race bench-smoke
+# Machine-readable benchmarks: runs the routing benchmarks with `go test
+# -json` and writes the event stream to $(BENCH_JSON) (benchmark results
+# appear as Output events; one JSON object per line). This file seeds the
+# BENCH_*.json measurement trajectory — commit snapshots to track routing
+# throughput across PRs.
+bench-json:
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime 1s -json . > $(BENCH_JSON)
+	@echo "wrote $(BENCH_JSON)"
+
+check: fmt-check vet build staticcheck test race bench-smoke

@@ -11,6 +11,7 @@
 package meshroute
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -41,7 +42,7 @@ func BenchmarkFig5a(b *testing.B) {
 	last := cfg.FaultCounts[len(cfg.FaultCounts)-1]
 	var tbl *stats.Table
 	for i := 0; i < b.N; i++ {
-		tbl = eval.Fig5a(cfg)
+		tbl, _ = eval.Fig5a(context.Background(), cfg)
 	}
 	b.ReportMetric(lastAvg(tbl, 1, last), "disabled%@max-faults")
 }
@@ -52,7 +53,7 @@ func BenchmarkFig5b(b *testing.B) {
 	last := cfg.FaultCounts[len(cfg.FaultCounts)-1]
 	var tbl *stats.Table
 	for i := 0; i < b.N; i++ {
-		tbl = eval.Fig5b(cfg)
+		tbl, _ = eval.Fig5b(context.Background(), cfg)
 	}
 	b.ReportMetric(lastAvg(tbl, 1, last), "MCCs@max-faults")
 }
@@ -64,7 +65,7 @@ func BenchmarkFig5c(b *testing.B) {
 	last := cfg.FaultCounts[len(cfg.FaultCounts)-1]
 	var tbl *stats.Table
 	for i := 0; i < b.N; i++ {
-		tbl = eval.Fig5c(cfg)
+		tbl, _ = eval.Fig5c(context.Background(), cfg)
 	}
 	b.ReportMetric(lastAvg(tbl, 3, last), "B2%@max-faults")
 }
@@ -75,7 +76,7 @@ func BenchmarkFig5d(b *testing.B) {
 	last := cfg.FaultCounts[len(cfg.FaultCounts)-1]
 	var tbl *stats.Table
 	for i := 0; i < b.N; i++ {
-		tbl = eval.Fig5d(cfg)
+		tbl, _ = eval.Fig5d(context.Background(), cfg)
 	}
 	b.ReportMetric(lastAvg(tbl, 1, last), "RB2%@max-faults")
 }
@@ -86,7 +87,7 @@ func BenchmarkFig5e(b *testing.B) {
 	last := cfg.FaultCounts[len(cfg.FaultCounts)-1]
 	var tbl *stats.Table
 	for i := 0; i < b.N; i++ {
-		tbl = eval.Fig5e(cfg)
+		tbl, _ = eval.Fig5e(context.Background(), cfg)
 	}
 	b.ReportMetric(lastAvg(tbl, 0, last), "ecube-err@max-faults")
 }
@@ -215,7 +216,7 @@ func BenchmarkAblationPolicies(b *testing.B) {
 			last := 240
 			var tbl *stats.Table
 			for i := 0; i < b.N; i++ {
-				tbl = eval.Fig5d(cfg)
+				tbl, _ = eval.Fig5d(context.Background(), cfg)
 			}
 			b.ReportMetric(lastAvg(tbl, 1, last), "RB2%")
 		})
@@ -233,7 +234,7 @@ func BenchmarkAblationBorderPolicy(b *testing.B) {
 			cfg.Border = pol
 			var tbl *stats.Table
 			for i := 0; i < b.N; i++ {
-				tbl = eval.Fig5a(cfg)
+				tbl, _ = eval.Fig5a(context.Background(), cfg)
 			}
 			b.ReportMetric(lastAvg(tbl, 1, 240), "disabled%")
 		})

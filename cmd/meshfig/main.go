@@ -10,9 +10,12 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	"repro/internal/eval"
@@ -57,10 +60,15 @@ func main() {
 	}
 	cfg.Workers = *workers
 
+	// Interrupt (ctrl-C) cancels the sweep between trials; the partial
+	// table is still rendered.
+	ctx, cancelSignals := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer cancelSignals()
+
 	panels := []struct {
 		name  string
 		title string
-		run   func(eval.Config) *stats.Table
+		run   func(context.Context, eval.Config) (*stats.Table, error)
 	}{
 		{"5a", "Figure 5(a): % disabled area vs faults", eval.Fig5a},
 		{"5b", "Figure 5(b): number of MCCs vs faults", eval.Fig5b},
@@ -76,11 +84,19 @@ func main() {
 		}
 		ran = true
 		start := time.Now()
-		tbl := p.run(cfg)
+		tbl, err := p.run(ctx, cfg)
 		if *csv {
 			fmt.Printf("# %s\n%s\n", p.title, tbl.RenderCSV())
 		} else {
 			fmt.Printf("%s  [%s scale, %v]\n%s\n", p.title, *scale, time.Since(start).Round(time.Millisecond), tbl.Render())
+		}
+		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				fmt.Fprintln(os.Stderr, "meshfig: interrupted; tables above are partial")
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "meshfig: %v\n", err)
+			os.Exit(1)
 		}
 	}
 	if !ran {

@@ -3,8 +3,9 @@
 // delivery, optimality, and cost statistics, with every knob exposed.
 //
 // Routing runs on the concurrent engine (internal/engine): each trial
-// publishes one immutable analysis snapshot and the sampled pairs are
-// routed through a worker pool sized by -workers.
+// publishes one immutable analysis snapshot and the sampled pairs stream
+// through a worker pool sized by -workers. Interrupting (ctrl-C) cancels
+// the in-flight batch promptly and prints the partial aggregates.
 //
 // Usage:
 //
@@ -14,10 +15,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"os/signal"
 	"text/tabwriter"
 
 	"repro/internal/engine"
@@ -55,6 +58,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "meshsim: unknown policy %q\n", *policyName)
 		os.Exit(2)
 	}
+
+	ctx, cancelSignals := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer cancelSignals()
 
 	algos := []routing.Algo{routing.Ecube, routing.RB1, routing.RB2, routing.RB3}
 	type agg struct {
@@ -96,19 +102,25 @@ func main() {
 			}
 		}
 		for _, al := range algos {
-			for i, br := range eng.RouteBatch(al, batch, *workers) {
+			// Stream the batch: aggregate each outcome as a worker
+			// completes it, no buffered result slice.
+			for br := range eng.RouteBatchStream(ctx, al, batch, *workers) {
 				ag := perAlgo[al]
 				ag.routed++
 				if br.Err != nil || !br.Res.Delivered {
 					continue
 				}
 				ag.delivered++
-				if int32(br.Res.Hops) == optimal[i] {
+				if int32(br.Res.Hops) == optimal[br.Index] {
 					ag.shortest++
 				}
 				ag.hops.Add(float64(br.Res.Hops))
 				ag.detours.Add(float64(br.Res.DetourHops))
 			}
+		}
+		if ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "meshsim: interrupted; reporting partial aggregates")
+			break
 		}
 	}
 

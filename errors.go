@@ -1,0 +1,78 @@
+package meshroute
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/fault"
+)
+
+// The API v1 error taxonomy. Every failure a Network method returns wraps
+// exactly one of these, so callers branch with errors.Is / errors.As
+// instead of matching message strings:
+//
+//	resp, err := net.Route(ctx, req)
+//	switch {
+//	case errors.Is(err, meshroute.ErrFaultyEndpoint):   // pick new endpoints
+//	case errors.Is(err, meshroute.ErrUnreachable):      // partitioned
+//	case errors.Is(err, meshroute.ErrCanceled):         // ctx gave up
+//	}
+//	var abort *meshroute.ErrAborted
+//	if errors.As(err, &abort) { log.Printf("walk died: %s", abort.Reason) }
+//
+// ErrOutsideMesh, ErrFaultyEndpoint, and ErrCanceled are shared with the
+// engine layer (internal/engine returns them too), so errors cross the
+// facade boundary without translation.
+var (
+	// ErrOutsideMesh reports a coordinate outside the mesh (a request
+	// endpoint, a fault location, or a link endpoint).
+	ErrOutsideMesh = engine.ErrOutsideMesh
+	// ErrFaultyEndpoint reports a faulty routing source or destination.
+	ErrFaultyEndpoint = engine.ErrFaultyEndpoint
+	// ErrUnreachable reports that the destination is disconnected from the
+	// source in the surviving mesh (BFS oracle verdict). Only returned when
+	// the oracle runs; WithoutOracle trades this check for latency and
+	// surfaces such pairs as *ErrAborted instead.
+	ErrUnreachable = errors.New("destination unreachable")
+	// ErrCanceled reports a request cut short by its context. The returned
+	// error wraps the context cause as well, so errors.Is also matches
+	// context.Canceled or context.DeadlineExceeded.
+	ErrCanceled = engine.ErrCanceled
+	// ErrInvalidFaultCount reports an InjectRandom count that is negative
+	// or would disable the entire mesh.
+	ErrInvalidFaultCount = fault.ErrCount
+	// ErrNotAdjacent reports an AddLinkFault whose endpoints are not mesh
+	// neighbors.
+	ErrNotAdjacent = fault.ErrNotAdjacent
+)
+
+// ErrAborted is the structured error for a walk that stopped without
+// delivering: the algorithm gave up (livelock, walled in, hop budget)
+// rather than the request being invalid. Match with errors.As.
+type ErrAborted struct {
+	// Algorithm is the routing algorithm that aborted.
+	Algorithm Algorithm
+	// Src, Dst are the request endpoints.
+	Src, Dst Coord
+	// Reason is the walk's abort cause ("livelock", "walled in",
+	// "hop budget exhausted", ...).
+	Reason string
+	// Hops is the number of hops walked before aborting.
+	Hops int
+	// Path is the partial walk, source first — useful for rendering the
+	// decision trace of a failed routing.
+	Path []Coord
+}
+
+// Error implements error.
+func (e *ErrAborted) Error() string {
+	return fmt.Sprintf("meshroute: %v %v -> %v aborted after %d hops: %s",
+		e.Algorithm, e.Src, e.Dst, e.Hops, e.Reason)
+}
+
+// canceledErr wraps the context cause together with ErrCanceled.
+func canceledErr(ctx context.Context) error {
+	return fmt.Errorf("meshroute: %w: %w", ErrCanceled, context.Cause(ctx))
+}

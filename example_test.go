@@ -1,30 +1,41 @@
 package meshroute_test
 
 import (
+	"context"
 	"fmt"
 
 	meshroute "repro"
 )
 
-// Example demonstrates the library's core loop: inject faults, route with
-// the paper's shortest-path algorithm, compare against the oracle.
+// Example demonstrates the library's core loop on the API v1 surface:
+// commit faults in one atomic transaction, route with the paper's
+// shortest-path algorithm under a context, compare against the oracle.
 func Example() {
 	net := meshroute.NewSquare(12)
 	// An anti-diagonal fault line closes to a single 3x3 fault region under
-	// the MCC model.
-	for _, c := range []meshroute.Coord{
-		meshroute.C(4, 6), meshroute.C(5, 5), meshroute.C(6, 4),
-	} {
-		if err := net.AddFault(c); err != nil {
-			panic(err)
+	// the MCC model; the edits publish as one snapshot.
+	err := net.Apply(func(tx *meshroute.Tx) error {
+		for _, c := range []meshroute.Coord{
+			meshroute.C(4, 6), meshroute.C(5, 5), meshroute.C(6, 4),
+		} {
+			if err := tx.AddFault(c); err != nil {
+				return err
+			}
 		}
+		return nil
+	})
+	if err != nil {
+		panic(err)
 	}
-	res, err := net.Route(meshroute.RB2, meshroute.C(5, 2), meshroute.C(5, 9))
+	resp, err := net.Route(context.Background(), meshroute.RouteRequest{
+		Src: meshroute.C(5, 2), Dst: meshroute.C(5, 9),
+	})
 	if err != nil {
 		panic(err)
 	}
 	fmt.Printf("regions=%d hops=%d optimal=%d shortest=%v manhattan=%v\n",
-		len(net.MCCs()), res.Hops, res.Optimal, res.Shortest, res.ManhattanFeasible)
+		len(net.MCCs()), resp.Hops, resp.Oracle.Optimal, resp.Oracle.Shortest,
+		resp.Oracle.ManhattanFeasible)
 	// Output:
 	// regions=1 hops=11 optimal=11 shortest=true manhattan=false
 }

@@ -2,55 +2,83 @@
 // systems the paper cites [3]) accumulating random node failures over its
 // lifetime. The example sweeps the failure count and reports how each
 // routing algorithm's path quality degrades — a single-seed slice of
-// Figures 5(d) and 5(e). Run with: go run ./examples/bluegene
+// Figures 5(d) and 5(e) — using the streaming API v1 batch: outcomes are
+// aggregated as workers complete them, never buffered whole. Run with:
+// go run ./examples/bluegene
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 	"math/rand"
 
+	meshroute "repro"
 	"repro/internal/fault"
 	"repro/internal/mesh"
-	"repro/internal/routing"
-	"repro/internal/spath"
 )
 
 func main() {
 	const n = 100
-	m := mesh.Square(n)
-	algos := []routing.Algo{routing.Ecube, routing.RB1, routing.RB2, routing.RB3}
+	ctx := context.Background()
+	algos := []meshroute.Algorithm{meshroute.Ecube, meshroute.RB1, meshroute.RB2, meshroute.RB3}
 	fmt.Println("failures  algo     routed  shortest%  avg-rel-err")
 	for _, failures := range []int{250, 1000, 2250} {
 		r := rand.New(rand.NewSource(99))
+		m := mesh.Square(n)
 		f, ok := fault.GenerateConnected(fault.Uniform{}, m, failures, r, 25)
 		if !ok {
 			fmt.Printf("%8d  (network disconnected)\n", failures)
 			continue
 		}
-		a := routing.NewAnalysis(f)
+		net := meshroute.NewSquare(n)
+		if err := net.Apply(func(tx *meshroute.Tx) error {
+			for _, c := range f.Coords() {
+				if err := tx.AddFault(c); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			log.Fatal(err)
+		}
+
+		// Sample pairs whose endpoints are safe for their travel
+		// orientation (the paper's setup); reachability is left to the
+		// batch oracle, which flags unreachable pairs with a typed error.
+		a := net.Analysis()
+		var pairs []meshroute.Pair
+		for i := 0; i < 40; i++ {
+			s := meshroute.C(r.Intn(n), r.Intn(n))
+			d := meshroute.C(r.Intn(n), r.Intn(n))
+			o := mesh.OrientFor(s, d)
+			if s == d || !a.Grid(o).Safe(o.To(m, s)) || !a.Grid(o).Safe(o.To(m, d)) {
+				continue
+			}
+			pairs = append(pairs, meshroute.Pair{S: s, D: d})
+		}
+
 		for _, al := range algos {
+			batch, err := net.RouteBatch(ctx, meshroute.BatchRequest{Pairs: pairs},
+				meshroute.WithAlgorithm(al))
+			if err != nil {
+				log.Fatal(err)
+			}
 			routed, shortest := 0, 0
 			var errSum float64
-			for i := 0; i < 40; i++ {
-				s := mesh.C(r.Intn(n), r.Intn(n))
-				d := mesh.C(r.Intn(n), r.Intn(n))
-				o := mesh.OrientFor(s, d)
-				if s == d || !a.Grid(o).Safe(o.To(m, s)) || !a.Grid(o).Safe(o.To(m, d)) {
-					continue
-				}
-				optimal := spath.Distance(f, s, d)
-				if optimal >= spath.Infinite || optimal == 0 {
-					continue
-				}
-				res := routing.Route(a, al, s, d, routing.Options{})
-				if !res.Delivered {
-					continue
+			for item, ok := batch.Next(); ok; item, ok = batch.Next() {
+				if item.Err != nil || item.Response.Oracle.Optimal == 0 {
+					continue // unreachable, aborted, or zero-length
 				}
 				routed++
-				if int32(res.Hops) == optimal {
+				if item.Response.Oracle.Shortest {
 					shortest++
 				}
-				errSum += float64(res.Hops-int(optimal)) / float64(optimal)
+				o := item.Response.Oracle.Optimal
+				errSum += float64(item.Response.Hops-o) / float64(o)
+			}
+			if err := batch.Err(); err != nil {
+				log.Fatal(err)
 			}
 			if routed == 0 {
 				continue

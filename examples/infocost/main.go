@@ -1,33 +1,47 @@
 // Information-cost visualization: renders which nodes hold fault-region
 // information under each model — B1's thin boundary lines, B2's flooded
 // forbidden regions, B3's split boundaries — making Figure 5(c)'s cost
-// ordering visible. Run with: go run ./examples/infocost
+// ordering visible. The fault pattern commits through the API v1
+// transaction and the stores come from the published snapshot. Run with:
+// go run ./examples/infocost
 package main
 
 import (
 	"fmt"
+	"log"
 
-	"repro/internal/fault"
+	meshroute "repro"
 	"repro/internal/info"
-	"repro/internal/labeling"
-	"repro/internal/mcc"
 	"repro/internal/mesh"
 	"repro/internal/viz"
 )
 
 func main() {
-	m := mesh.Square(20)
-	// Two interlocked fault regions forming a type-I blocking sequence.
-	f := fault.FromCoords(m,
-		mesh.C(6, 8), mesh.C(7, 8), mesh.C(8, 8),
-		mesh.C(9, 11), mesh.C(10, 11), mesh.C(10, 12),
-	)
-	g := labeling.Compute(f, labeling.BorderSafe)
-	set := mcc.Extract(g)
-	fmt.Printf("%d faults -> %d MCCs; safe nodes: %d\n", f.Count(), set.Len(), g.SafeCount())
+	const n = 20
+	net := meshroute.NewSquare(n)
+	// Two interlocked fault regions forming a type-I blocking sequence,
+	// committed atomically.
+	if err := net.Apply(func(tx *meshroute.Tx) error {
+		for _, c := range []meshroute.Coord{
+			meshroute.C(6, 8), meshroute.C(7, 8), meshroute.C(8, 8),
+			meshroute.C(9, 11), meshroute.C(10, 11), meshroute.C(10, 12),
+		} {
+			if err := tx.AddFault(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		log.Fatal(err)
+	}
+	g := net.Analysis().Grid(mesh.NE)
+	safe, _, _, _ := net.LabelCounts()
+	fmt.Printf("%d faults -> %d MCCs; safe nodes: %d\n",
+		net.FaultCount(), len(net.MCCs()), safe)
 
+	m := mesh.Square(n)
 	for _, model := range []info.Model{info.B1, info.B2, info.B3} {
-		st := info.Build(model, set)
+		st := net.InfoStore(model)
 		v := viz.NewMap(m).Labels(g)
 		m.EachNode(func(c mesh.Coord) {
 			if st.HasInfo(c) {

@@ -2,10 +2,12 @@
 // region of a 24x24 NoC (the [6,7]-style mesh NoCs the paper motivates).
 // The example compares the three information models' propagation footprint
 // — the trade-off of Figure 5(c) — and shows the routing quality each one
-// buys. Run with: go run ./examples/noc
+// buys. The defect commits as one atomic API v1 transaction. Run with:
+// go run ./examples/noc
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -19,14 +21,21 @@ import (
 
 func main() {
 	const n = 24
+	ctx := context.Background()
 	net := meshroute.NewSquare(n)
-	// A clustered defect region plus scattered single-node failures.
+	// A clustered defect region plus scattered single-node failures, all
+	// published as a single snapshot.
 	r := rand.New(rand.NewSource(7))
 	cluster := fault.Clustered{MeanClusterSize: 12}.Generate(mesh.Square(n), 24, r)
-	for _, c := range cluster.Coords() {
-		if err := net.AddFault(c); err != nil {
-			log.Fatal(err)
+	if err := net.Apply(func(tx *meshroute.Tx) error {
+		for _, c := range cluster.Coords() {
+			if err := tx.AddFault(c); err != nil {
+				return err
+			}
 		}
+		return nil
+	}); err != nil {
+		log.Fatal(err)
 	}
 	fmt.Printf("NoC: %dx%d, %d defective routers, %d fault regions\n\n",
 		n, n, net.FaultCount(), len(net.MCCs()))
@@ -40,18 +49,19 @@ func main() {
 	}
 
 	// Route around the defect with each algorithm.
-	s, d := meshroute.C(2, 2), meshroute.C(21, 21)
-	fmt.Printf("\nrouting %v -> %v:\n", s, d)
+	req := meshroute.RouteRequest{Src: meshroute.C(2, 2), Dst: meshroute.C(21, 21)}
+	fmt.Printf("\nrouting %v -> %v:\n", req.Src, req.Dst)
 	var best []meshroute.Coord
 	for _, algo := range []meshroute.Algorithm{meshroute.Ecube, meshroute.RB1, meshroute.RB3, meshroute.RB2} {
-		res, err := net.Route(algo, s, d)
+		resp, err := net.Route(ctx, req, meshroute.WithAlgorithm(algo))
 		if err != nil {
 			fmt.Printf("  %-7v %v\n", algo, err)
 			continue
 		}
-		fmt.Printf("  %-7v %2d hops (optimal %d, shortest=%v)\n", algo, res.Hops, res.Optimal, res.Shortest)
+		fmt.Printf("  %-7v %2d hops (optimal %d, shortest=%v)\n",
+			algo, resp.Hops, resp.Oracle.Optimal, resp.Oracle.Shortest)
 		if algo == meshroute.RB2 {
-			best = res.Path
+			best = resp.Path
 		}
 	}
 

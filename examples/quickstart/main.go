@@ -1,9 +1,13 @@
-// Quickstart: build a mesh, knock out a fault cluster, and route around it
-// with the paper's shortest-path algorithm (RB2), comparing against the
-// naive baseline. Run with: go run ./examples/quickstart
+// Quickstart for the API v1 surface: build a mesh, knock out a fault
+// cluster in one atomic transaction, and route around it with the paper's
+// shortest-path algorithm (RB2), comparing against the naive baseline.
+// Requests take a context and fail with typed errors. Run with:
+// go run ./examples/quickstart
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
 
@@ -11,31 +15,48 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+
 	// A 16x16 mesh with an anti-diagonal fault cluster in the middle. The
 	// MCC model closes the cluster to a 3x3 fault region: the diagonal gaps
-	// are useless/can't-reach for minimal routing.
+	// are useless/can't-reach for minimal routing. The three faults commit
+	// atomically — routing never sees a partial cluster.
 	net := meshroute.NewSquare(16)
-	for _, c := range []meshroute.Coord{
-		meshroute.C(7, 9), meshroute.C(8, 8), meshroute.C(9, 7),
-	} {
-		if err := net.AddFault(c); err != nil {
-			log.Fatal(err)
+	err := net.Apply(func(tx *meshroute.Tx) error {
+		for _, c := range []meshroute.Coord{
+			meshroute.C(7, 9), meshroute.C(8, 8), meshroute.C(9, 7),
+		} {
+			if err := tx.AddFault(c); err != nil {
+				return err // rolls the whole transaction back
+			}
 		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
 	}
-	fmt.Printf("mesh: 16x16, %d faults -> %d fault regions (MCCs)\n",
-		net.FaultCount(), len(net.MCCs()))
+
+	st := net.Stats()
+	fmt.Printf("mesh: %dx%d, %d faults -> %d fault regions (MCCs), snapshot v%d\n",
+		st.Width, st.Height, st.PublishedFaults, len(net.MCCs()), st.SnapshotVersion)
 	safe, faulty, useless, cantReach := net.LabelCounts()
 	fmt.Printf("labels: %d safe, %d faulty, %d useless, %d can't-reach\n\n",
 		safe, faulty, useless, cantReach)
 
-	s, d := meshroute.C(8, 2), meshroute.C(8, 13)
+	req := meshroute.RouteRequest{Src: meshroute.C(8, 2), Dst: meshroute.C(8, 13)}
 	for _, algo := range []meshroute.Algorithm{meshroute.Ecube, meshroute.RB1, meshroute.RB3, meshroute.RB2} {
-		res, err := net.Route(algo, s, d)
+		resp, err := net.Route(ctx, req, meshroute.WithAlgorithm(algo))
 		if err != nil {
+			// Typed errors: dispatch with errors.Is / errors.As instead of
+			// matching message strings.
+			var abort *meshroute.ErrAborted
+			if errors.As(err, &abort) {
+				log.Fatalf("%v gave up: %s", algo, abort.Reason)
+			}
 			log.Fatalf("%v: %v", algo, err)
 		}
 		fmt.Printf("%-7v  %2d hops (optimal %d, shortest=%v, phases=%d)\n",
-			algo, res.Hops, res.Optimal, res.Shortest, res.Phases)
+			algo, resp.Hops, resp.Oracle.Optimal, resp.Oracle.Shortest, resp.Phases)
 	}
 	fmt.Println("\nRB2 always finds the shortest path (Theorem 1): the source knows")
 	fmt.Println("the blocking fault region's shape and detours via its corner.")

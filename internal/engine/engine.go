@@ -29,6 +29,8 @@
 package engine
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -40,6 +42,27 @@ import (
 	"repro/internal/mesh"
 	"repro/internal/routing"
 )
+
+// Typed routing errors. Every error the engine returns wraps exactly one
+// of these sentinels, so callers dispatch with errors.Is instead of
+// string matching. The facade re-exports them as part of the API v1
+// error taxonomy.
+var (
+	// ErrOutsideMesh reports a request endpoint outside the mesh.
+	ErrOutsideMesh = errors.New("endpoint outside mesh")
+	// ErrFaultyEndpoint reports a faulty source or destination.
+	ErrFaultyEndpoint = errors.New("faulty endpoint")
+	// ErrCanceled reports a query or batch cut short by its context. The
+	// returned error also wraps the context's cause, so both
+	// errors.Is(err, ErrCanceled) and errors.Is(err, context.Canceled)
+	// (or context.DeadlineExceeded) hold.
+	ErrCanceled = errors.New("request canceled")
+)
+
+// canceled wraps the context's cause together with ErrCanceled.
+func canceled(ctx context.Context) error {
+	return fmt.Errorf("engine: %w: %w", ErrCanceled, context.Cause(ctx))
+}
 
 // Snapshot is one immutable (fault configuration, precomputed analysis)
 // pair. The fault set must not be mutated after the snapshot is built;
@@ -179,6 +202,13 @@ func (r *Router) RouteWith(algo routing.Algo, s, d mesh.Coord, opt routing.Optio
 	return routeOn(r.Snapshot(), algo, s, d, opt)
 }
 
+// RouteCtx routes s -> d on the current snapshot under ctx: it fails fast
+// with ErrCanceled when ctx is already done and aborts the walk promptly
+// on cancellation or deadline expiry.
+func (r *Router) RouteCtx(ctx context.Context, algo routing.Algo, s, d mesh.Coord) (Result, error) {
+	return r.Snapshot().RouteCtx(ctx, algo, s, d, r.opts.Routing)
+}
+
 // Route runs one query pinned to this snapshot — for callers that need
 // several operations (the walk plus oracle lookups on Faults()) to observe
 // one consistent configuration across concurrent swaps.
@@ -186,14 +216,52 @@ func (s *Snapshot) Route(algo routing.Algo, src, dst mesh.Coord, opt routing.Opt
 	return routeOn(s, algo, src, dst, opt)
 }
 
+// RouteCtx routes like Route but under a context: an already-done context
+// fails fast with ErrCanceled, and a cancellation or deadline expiry
+// mid-walk aborts the walk at the next hop-poll (the walk's step budget is
+// hooked to the context via routing.Options.Stop).
+func (s *Snapshot) RouteCtx(ctx context.Context, algo routing.Algo, src, dst mesh.Coord, opt routing.Options) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{}, canceled(ctx)
+	}
+	res, err := routeOn(s, algo, src, dst, withStop(ctx, opt))
+	if err != nil {
+		return res, err
+	}
+	if !res.Delivered && ctx.Err() != nil {
+		// The walk was cut short by the context, not by the topology.
+		return Result{}, canceled(ctx)
+	}
+	return res, nil
+}
+
+// withStop hooks the walk's hop budget to ctx, chaining any caller-set
+// Stop. Contexts that can never be canceled are left alone.
+func withStop(ctx context.Context, opt routing.Options) routing.Options {
+	if ctx.Done() == nil {
+		return opt
+	}
+	prev := opt.Stop
+	opt.Stop = func() error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if prev != nil {
+			return prev()
+		}
+		return nil
+	}
+	return opt
+}
+
 // routeOn runs one query against a pinned snapshot.
 func routeOn(snap *Snapshot, algo routing.Algo, s, d mesh.Coord, opt routing.Options) (Result, error) {
 	m := snap.analysis.Mesh()
 	if !m.In(s) || !m.In(d) {
-		return Result{}, fmt.Errorf("engine: endpoints %v -> %v outside %v", s, d, m)
+		return Result{}, fmt.Errorf("engine: endpoints %v -> %v outside %v: %w", s, d, m, ErrOutsideMesh)
 	}
 	if snap.faults.Faulty(s) || snap.faults.Faulty(d) {
-		return Result{}, fmt.Errorf("engine: faulty endpoint in %v -> %v", s, d)
+		return Result{}, fmt.Errorf("engine: %w in %v -> %v", ErrFaultyEndpoint, s, d)
 	}
 	return Result{
 		Result:  routing.Route(snap.analysis, algo, s, d, opt),
@@ -213,6 +281,15 @@ type BatchResult struct {
 	Err  error
 }
 
+// BatchItem is one streamed batch outcome. Items arrive in completion
+// order; Index identifies the pair's position in the request.
+type BatchItem struct {
+	Index int
+	Pair  Pair
+	Res   Result
+	Err   error
+}
+
 // RouteBatch routes every pair with algo across a pool of workers
 // (workers <= 0 means GOMAXPROCS) and returns the outcomes in input order.
 // The whole batch is served from one snapshot loaded at entry, so the
@@ -225,12 +302,56 @@ func (r *Router) RouteBatch(algo routing.Algo, pairs []Pair, workers int) []Batc
 // nil: the batch fans out across goroutines and math/rand.Rand is not
 // synchronized.
 func (r *Router) RouteBatchWith(algo routing.Algo, pairs []Pair, workers int, opt routing.Options) []BatchResult {
-	if opt.Rng != nil {
-		panic("engine: RouteBatchWith options must not carry an Rng (it would race across workers)")
-	}
+	out, _ := r.RouteBatchCtx(context.Background(), algo, pairs, workers, opt)
+	return out
+}
+
+// RouteBatchCtx routes the batch under ctx and returns the outcomes in
+// input order. On cancellation it stops claiming pairs promptly, fills
+// every unrouted slot with an ErrCanceled error, and returns the
+// cancellation as its own error; completed results are kept. A
+// cancellation that lands after every pair was served is not an error:
+// the batch is complete.
+func (r *Router) RouteBatchCtx(ctx context.Context, algo routing.Algo, pairs []Pair, workers int, opt routing.Options) ([]BatchResult, error) {
 	out := make([]BatchResult, len(pairs))
-	if len(pairs) == 0 {
-		return out
+	done := make([]bool, len(pairs))
+	served := 0
+	for item := range r.Snapshot().BatchStream(ctx, algo, pairs, workers, opt) {
+		out[item.Index] = BatchResult{Pair: item.Pair, Res: item.Res, Err: item.Err}
+		done[item.Index] = true
+		served++
+	}
+	if served < len(pairs) {
+		cerr := canceled(ctx)
+		for i := range out {
+			if !done[i] {
+				out[i] = BatchResult{Pair: pairs[i], Err: cerr}
+			}
+		}
+		return out, cerr
+	}
+	return out, nil
+}
+
+// RouteBatchStream streams the batch on the current snapshot; see
+// Snapshot.BatchStream.
+func (r *Router) RouteBatchStream(ctx context.Context, algo routing.Algo, pairs []Pair, workers int) <-chan BatchItem {
+	return r.Snapshot().BatchStream(ctx, algo, pairs, workers, r.opts.Routing)
+}
+
+// BatchStream fans pairs out across a worker pool (workers <= 0 means
+// GOMAXPROCS) pinned to this snapshot and sends each outcome as soon as it
+// is computed — completion order, not input order. The channel is closed
+// once every pair is served or ctx is canceled; million-pair sweeps are
+// consumed with O(workers) buffering instead of an O(pairs) result slice.
+//
+// Cancellation is prompt: workers poll ctx between pairs and within each
+// walk (via the hop-budget hook), stop claiming work, and bail even when
+// the consumer has stopped receiving. opt.Rng must be nil (it would race
+// across workers).
+func (s *Snapshot) BatchStream(ctx context.Context, algo routing.Algo, pairs []Pair, workers int, opt routing.Options) <-chan BatchItem {
+	if opt.Rng != nil {
+		panic("engine: batch options must not carry an Rng (it would race across workers)")
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -238,13 +359,11 @@ func (r *Router) RouteBatchWith(algo routing.Algo, pairs []Pair, workers int, op
 	if workers > len(pairs) {
 		workers = len(pairs)
 	}
-	snap := r.Snapshot() // one consistent snapshot for the whole batch
-	if workers == 1 {
-		for i, p := range pairs {
-			out[i].Pair = p
-			out[i].Res, out[i].Err = routeOn(snap, algo, p.S, p.D, opt)
-		}
-		return out
+	opt = withStop(ctx, opt)
+	ch := make(chan BatchItem, workers*2+1)
+	if len(pairs) == 0 {
+		close(ch)
+		return ch
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -253,16 +372,29 @@ func (r *Router) RouteBatchWith(algo routing.Algo, pairs []Pair, workers int, op
 		go func() {
 			defer wg.Done()
 			for {
+				if ctx.Err() != nil {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= len(pairs) {
 					return
 				}
 				p := pairs[i]
-				out[i].Pair = p
-				out[i].Res, out[i].Err = routeOn(snap, algo, p.S, p.D, opt)
+				res, err := routeOn(s, algo, p.S, p.D, opt)
+				if err == nil && !res.Delivered && ctx.Err() != nil {
+					err = canceled(ctx) // walk cut short by the context
+				}
+				select {
+				case ch <- BatchItem{Index: i, Pair: p, Res: res, Err: err}:
+				case <-ctx.Done():
+					return
+				}
 			}
 		}()
 	}
-	wg.Wait()
-	return out
+	go func() {
+		wg.Wait()
+		close(ch)
+	}()
+	return ch
 }

@@ -1,0 +1,36 @@
+package eval
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestSweepCancellationIsPrompt cancels a sweep that would otherwise run
+// many trials and requires it to return quickly with the cancellation
+// cause and a partial (possibly empty) table.
+func TestSweepCancellationIsPrompt(t *testing.T) {
+	cfg := Quick()
+	cfg.Trials = 50 // far more work than the deadline allows
+	cfg.Workers = 2
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	start := time.Now()
+	tbl, err := Fig5d(ctx, cfg)
+	if err == nil {
+		t.Fatal("canceled sweep returned no error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("sweep error %v, want context.Canceled", err)
+	}
+	if tbl == nil {
+		t.Error("canceled sweep must still return the partial table")
+	}
+	// "Prompt" here is loose — a single in-flight trial may finish — but a
+	// pre-canceled context must not run the whole 50-trial sweep.
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Errorf("canceled sweep took %v", elapsed)
+	}
+}

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/stats"
@@ -25,12 +26,18 @@ func detCfg(workers int) Config {
 func TestTablesDeterministicAcrossRuns(t *testing.T) {
 	for _, panel := range []struct {
 		name string
-		run  func(Config) *stats.Table
+		run  func(context.Context, Config) (*stats.Table, error)
 	}{
 		{"Fig5a", Fig5a}, {"Fig5d", Fig5d},
 	} {
-		first := panel.run(detCfg(2)).Render()
-		second := panel.run(detCfg(2)).Render()
+		ctx := context.Background()
+		a, err1 := panel.run(ctx, detCfg(2))
+		b, err2 := panel.run(ctx, detCfg(2))
+		if err1 != nil || err2 != nil {
+			t.Fatalf("%s: sweep errors: %v / %v", panel.name, err1, err2)
+		}
+		first := a.Render()
+		second := b.Render()
 		if first != second {
 			t.Errorf("%s differs across identical runs:\n--- first\n%s--- second\n%s",
 				panel.name, first, second)
@@ -46,13 +53,19 @@ func TestTablesDeterministicAcrossRuns(t *testing.T) {
 func TestTablesDeterministicAcrossWorkerCounts(t *testing.T) {
 	for _, panel := range []struct {
 		name string
-		run  func(Config) *stats.Table
+		run  func(context.Context, Config) (*stats.Table, error)
 	}{
 		{"Fig5a", Fig5a}, {"Fig5b", Fig5b}, {"Fig5c", Fig5c},
 		{"Fig5d", Fig5d}, {"Fig5e", Fig5e}, {"DeliveryRates", DeliveryRates},
 	} {
-		serial := panel.run(detCfg(1)).Render()
-		pooled := panel.run(detCfg(8)).Render()
+		ctx := context.Background()
+		a, err1 := panel.run(ctx, detCfg(1))
+		b, err2 := panel.run(ctx, detCfg(8))
+		if err1 != nil || err2 != nil {
+			t.Fatalf("%s: sweep errors: %v / %v", panel.name, err1, err2)
+		}
+		serial := a.Render()
+		pooled := b.Render()
 		if serial != pooled {
 			t.Errorf("%s differs between workers=1 and workers=8:\n--- serial\n%s--- pooled\n%s",
 				panel.name, serial, pooled)
@@ -66,8 +79,14 @@ func TestTablesDeterministicAcrossWorkerCounts(t *testing.T) {
 // TestCSVDeterministicAcrossWorkerCounts covers the CSV renderer too — the
 // byte-identity contract is on the emitted artifacts, not one format.
 func TestCSVDeterministicAcrossWorkerCounts(t *testing.T) {
-	serial := Fig5e(detCfg(1)).RenderCSV()
-	pooled := Fig5e(detCfg(4)).RenderCSV()
+	ctx := context.Background()
+	a, err1 := Fig5e(ctx, detCfg(1))
+	b, err2 := Fig5e(ctx, detCfg(4))
+	if err1 != nil || err2 != nil {
+		t.Fatalf("sweep errors: %v / %v", err1, err2)
+	}
+	serial := a.RenderCSV()
+	pooled := b.RenderCSV()
 	if serial != pooled {
 		t.Errorf("Fig5e CSV differs between worker counts:\n--- serial\n%s--- pooled\n%s",
 			serial, pooled)

@@ -8,9 +8,15 @@
 // The runners return stats tables whose columns mirror the figure legends;
 // cmd/meshfig renders them and bench_test.go wraps each one in a
 // testing.B benchmark.
+//
+// Every runner takes a context and checks it between trials (and between
+// routed pairs inside a trial): canceling the context abandons the sweep
+// promptly and returns the cancellation alongside the partial table.
 package eval
 
 import (
+	"context"
+	"fmt"
 	"math/rand"
 	"runtime"
 	"sync"
@@ -107,7 +113,11 @@ type sample struct {
 // the bodies are order-independent, and the ordered replay makes the
 // resulting tables byte-identical for every worker count — float
 // accumulation happens in one fixed order.
-func (c Config) sweep(series []*stats.Series, body func(n, trial int, emit func(si int, v float64))) {
+//
+// Workers check ctx between trials: on cancellation they stop claiming
+// jobs, the completed trials' samples are still replayed (partial tables
+// render), and the cancellation cause is returned.
+func (c Config) sweep(ctx context.Context, series []*stats.Series, body func(n, trial int, emit func(si int, v float64))) error {
 	type job struct{ n, trial int }
 	jobs := make([]job, 0, len(c.FaultCounts)*c.Trials)
 	for _, n := range c.FaultCounts {
@@ -129,7 +139,7 @@ func (c Config) sweep(series []*stats.Series, body func(n, trial int, emit func(
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			for {
+			for ctx.Err() == nil {
 				i := int(next.Add(1)) - 1
 				if i >= len(jobs) {
 					return
@@ -146,14 +156,18 @@ func (c Config) sweep(series []*stats.Series, body func(n, trial int, emit func(
 			series[s.si].Add(j.n, s.v)
 		}
 	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("eval: sweep canceled: %w", context.Cause(ctx))
+	}
+	return nil
 }
 
 // Fig5a measures the percentage of disabled (unsafe) area to the total
 // area of the mesh: series MAX and AVG over trials per fault count.
-func Fig5a(cfg Config) *stats.Table {
+func Fig5a(ctx context.Context, cfg Config) (*stats.Table, error) {
 	series := stats.NewSeries("disabled%")
 	m := mesh.Square(cfg.MeshSize)
-	cfg.sweep([]*stats.Series{series}, func(n, trial int, emit func(int, float64)) {
+	err := cfg.sweep(ctx, []*stats.Series{series}, func(n, trial int, emit func(int, float64)) {
 		f, _, ok := cfg.connectedSet(m, n, trial)
 		if !ok {
 			return
@@ -164,14 +178,14 @@ func Fig5a(cfg Config) *stats.Table {
 	return &stats.Table{
 		XLabel:  "faults",
 		Columns: []stats.Column{{Series: series, Reduction: stats.Max}, {Series: series, Reduction: stats.Avg}},
-	}
+	}, err
 }
 
 // Fig5b measures the number of MCCs per fault count (MAX and AVG).
-func Fig5b(cfg Config) *stats.Table {
+func Fig5b(ctx context.Context, cfg Config) (*stats.Table, error) {
 	series := stats.NewSeries("MCCs")
 	m := mesh.Square(cfg.MeshSize)
-	cfg.sweep([]*stats.Series{series}, func(n, trial int, emit func(int, float64)) {
+	err := cfg.sweep(ctx, []*stats.Series{series}, func(n, trial int, emit func(int, float64)) {
 		f, _, ok := cfg.connectedSet(m, n, trial)
 		if !ok {
 			return
@@ -182,20 +196,20 @@ func Fig5b(cfg Config) *stats.Table {
 	return &stats.Table{
 		XLabel:  "faults",
 		Columns: []stats.Column{{Series: series, Reduction: stats.Max}, {Series: series, Reduction: stats.Avg}},
-	}
+	}, err
 }
 
 // Fig5c measures the percentage of nodes involved in information
 // propagation to the total safe nodes, for models B1, B2, and B3
 // (MAX and AVG each).
-func Fig5c(cfg Config) *stats.Table {
+func Fig5c(ctx context.Context, cfg Config) (*stats.Table, error) {
 	models := []info.Model{info.B1, info.B2, info.B3}
 	series := make([]*stats.Series, len(models))
 	for i, mod := range models {
 		series[i] = stats.NewSeries(mod.String())
 	}
 	m := mesh.Square(cfg.MeshSize)
-	cfg.sweep(series, func(n, trial int, emit func(int, float64)) {
+	err := cfg.sweep(ctx, series, func(n, trial int, emit func(int, float64)) {
 		f, _, ok := cfg.connectedSet(m, n, trial)
 		if !ok {
 			return
@@ -214,7 +228,7 @@ func Fig5c(cfg Config) *stats.Table {
 	for _, s := range series {
 		cols = append(cols, stats.Column{Series: s, Reduction: stats.Max}, stats.Column{Series: s, Reduction: stats.Avg})
 	}
-	return &stats.Table{XLabel: "faults", Columns: cols}
+	return &stats.Table{XLabel: "faults", Columns: cols}, err
 }
 
 // pairSampler draws random pairs matching the paper's setup: both
@@ -250,7 +264,7 @@ func (p pairSampler) draw() (s, d mesh.Coord, optimal int32, ok bool) {
 // returning success-rate and relative-error series per algorithm. Trials
 // run in parallel (Config.Workers); each trial builds its own analysis and
 // RNG, so no routing state is shared across goroutines.
-func routedFigures(cfg Config, algos []routing.Algo) (success, relerr, delivered map[routing.Algo]*stats.Series) {
+func routedFigures(ctx context.Context, cfg Config, algos []routing.Algo) (success, relerr, delivered map[routing.Algo]*stats.Series, err error) {
 	success = map[routing.Algo]*stats.Series{}
 	relerr = map[routing.Algo]*stats.Series{}
 	delivered = map[routing.Algo]*stats.Series{}
@@ -265,7 +279,7 @@ func routedFigures(cfg Config, algos []routing.Algo) (success, relerr, delivered
 	}
 	m := mesh.Square(cfg.MeshSize)
 	opt := routing.Options{Policy: cfg.Policy}
-	cfg.sweep(flat, func(n, trial int, emit func(int, float64)) {
+	err = cfg.sweep(ctx, flat, func(n, trial int, emit func(int, float64)) {
 		f, r, ok := cfg.connectedSet(m, n, trial)
 		if !ok {
 			return
@@ -273,6 +287,9 @@ func routedFigures(cfg Config, algos []routing.Algo) (success, relerr, delivered
 		a := routing.NewAnalysisWithPolicy(f, cfg.Border)
 		sampler := pairSampler{m: m, a: a, r: r}
 		for i := 0; i < cfg.Pairs; i++ {
+			if ctx.Err() != nil {
+				return // canceled mid-trial: stop between pairs
+			}
 			s, d, optimal, ok := sampler.draw()
 			if !ok {
 				break
@@ -299,13 +316,13 @@ func routedFigures(cfg Config, algos []routing.Algo) (success, relerr, delivered
 			}
 		}
 	})
-	return success, relerr, delivered
+	return success, relerr, delivered, err
 }
 
 // Fig5d measures the percentage of routings that achieve the shortest path
 // for RB1, RB2, and RB3.
-func Fig5d(cfg Config) *stats.Table {
-	success, _, _ := routedFigures(cfg, []routing.Algo{routing.RB1, routing.RB2, routing.RB3})
+func Fig5d(ctx context.Context, cfg Config) (*stats.Table, error) {
+	success, _, _, err := routedFigures(ctx, cfg, []routing.Algo{routing.RB1, routing.RB2, routing.RB3})
 	return &stats.Table{
 		XLabel: "faults",
 		Columns: []stats.Column{
@@ -313,31 +330,31 @@ func Fig5d(cfg Config) *stats.Table {
 			{Series: success[routing.RB2], Reduction: stats.Avg},
 			{Series: success[routing.RB3], Reduction: stats.Avg},
 		},
-	}
+	}, err
 }
 
 // Fig5e measures the relative error of the achieved path length to the
 // shortest path for E-cube, RB1, RB2, and RB3.
-func Fig5e(cfg Config) *stats.Table {
+func Fig5e(ctx context.Context, cfg Config) (*stats.Table, error) {
 	algos := []routing.Algo{routing.Ecube, routing.RB1, routing.RB2, routing.RB3}
-	_, relerr, _ := routedFigures(cfg, algos)
+	_, relerr, _, err := routedFigures(ctx, cfg, algos)
 	var cols []stats.Column
 	for _, al := range algos {
 		cols = append(cols, stats.Column{Series: relerr[al], Reduction: stats.Avg})
 	}
-	return &stats.Table{XLabel: "faults", Columns: cols, Digits: 4}
+	return &stats.Table{XLabel: "faults", Columns: cols, Digits: 4}, err
 }
 
 // DeliveryRates is an auxiliary panel (not in the paper) reporting the
 // percentage of delivered walks per algorithm; the paper assumes delivery
 // always succeeds, and this table quantifies how close the implementation
 // comes (border-clipped fault regions are the gap; see EXPERIMENTS.md).
-func DeliveryRates(cfg Config) *stats.Table {
+func DeliveryRates(ctx context.Context, cfg Config) (*stats.Table, error) {
 	algos := []routing.Algo{routing.Ecube, routing.RB1, routing.RB2, routing.RB3}
-	_, _, delivered := routedFigures(cfg, algos)
+	_, _, delivered, err := routedFigures(ctx, cfg, algos)
 	var cols []stats.Column
 	for _, al := range algos {
 		cols = append(cols, stats.Column{Series: delivered[al], Reduction: stats.Avg})
 	}
-	return &stats.Table{XLabel: "faults", Columns: cols}
+	return &stats.Table{XLabel: "faults", Columns: cols}, err
 }

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -21,6 +22,17 @@ func tiny() Config {
 	}
 }
 
+// run executes a panel runner under a background context, failing the
+// test on any sweep error.
+func run(t *testing.T, f func(context.Context, Config) (*stats.Table, error), cfg Config) *stats.Table {
+	t.Helper()
+	tbl, err := f(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("sweep failed: %v", err)
+	}
+	return tbl
+}
+
 func value(t *testing.T, tbl *stats.Table, col int, x int) float64 {
 	t.Helper()
 	c := tbl.Columns[col]
@@ -39,7 +51,7 @@ func value(t *testing.T, tbl *stats.Table, col int, x int) float64 {
 }
 
 func TestFig5aShape(t *testing.T) {
-	tbl := Fig5a(tiny())
+	tbl := run(t, Fig5a, tiny())
 	if got := value(t, tbl, 1, 0); got != 0 {
 		t.Errorf("disabled area with 0 faults = %v, want 0", got)
 	}
@@ -55,7 +67,7 @@ func TestFig5aShape(t *testing.T) {
 }
 
 func TestFig5bShape(t *testing.T) {
-	tbl := Fig5b(tiny())
+	tbl := run(t, Fig5b, tiny())
 	if got := value(t, tbl, 1, 0); got != 0 {
 		t.Errorf("MCC count with 0 faults = %v", got)
 	}
@@ -65,7 +77,7 @@ func TestFig5bShape(t *testing.T) {
 }
 
 func TestFig5cOrdering(t *testing.T) {
-	tbl := Fig5c(tiny())
+	tbl := run(t, Fig5c, tiny())
 	// Columns: B1/MAX, B1/AVG, B2/MAX, B2/AVG, B3/MAX, B3/AVG.
 	b1 := value(t, tbl, 1, 70)
 	b2 := value(t, tbl, 3, 70)
@@ -82,7 +94,7 @@ func TestFig5cOrdering(t *testing.T) {
 }
 
 func TestFig5dOrdering(t *testing.T) {
-	tbl := Fig5d(tiny())
+	tbl := run(t, Fig5d, tiny())
 	// Columns: RB1, RB2, RB3 average success.
 	rb1 := value(t, tbl, 0, 30)
 	rb2 := value(t, tbl, 1, 30)
@@ -105,7 +117,7 @@ func TestFig5dOrdering(t *testing.T) {
 }
 
 func TestFig5eShape(t *testing.T) {
-	tbl := Fig5e(tiny())
+	tbl := run(t, Fig5e, tiny())
 	// Columns: E-cube, RB1, RB2, RB3 relative error averages.
 	for col := 0; col < 4; col++ {
 		if got := value(t, tbl, col, 0); got != 0 {
@@ -126,7 +138,7 @@ func TestFig5eShape(t *testing.T) {
 }
 
 func TestDeliveryRates(t *testing.T) {
-	tbl := DeliveryRates(tiny())
+	tbl := run(t, DeliveryRates, tiny())
 	for col := 0; col < 4; col++ {
 		if got := value(t, tbl, col, 70); got < 88 {
 			t.Errorf("delivery col %d = %v%%, want >= 88%%", col, got)
@@ -158,7 +170,7 @@ func TestConfigsAreSane(t *testing.T) {
 }
 
 func TestTablesRender(t *testing.T) {
-	tbl := Fig5b(tiny())
+	tbl := run(t, Fig5b, tiny())
 	out := tbl.Render()
 	if !strings.Contains(out, "MCCs/MAX") || !strings.Contains(out, "MCCs/AVG") {
 		t.Errorf("render missing headers:\n%s", out)

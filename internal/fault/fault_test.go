@@ -1,6 +1,7 @@
 package fault
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -234,5 +235,24 @@ func TestSetString(t *testing.T) {
 	s := FromCoords(mesh.Square(5), mesh.C(1, 1))
 	if s.String() != "1 faults on 5x5 mesh" {
 		t.Errorf("String = %q", s.String())
+	}
+}
+
+func TestValidateCount(t *testing.T) {
+	m := mesh.New(6, 5) // 30 nodes
+	for _, count := range []int{0, 1, 29} {
+		if err := ValidateCount(m, count); err != nil {
+			t.Errorf("ValidateCount(%d) = %v, want nil", count, err)
+		}
+	}
+	for _, count := range []int{-1, -100, 30, 31, 1 << 20} {
+		err := ValidateCount(m, count)
+		if err == nil {
+			t.Errorf("ValidateCount(%d) accepted", count)
+			continue
+		}
+		if !errors.Is(err, ErrCount) {
+			t.Errorf("ValidateCount(%d) = %v, want ErrCount", count, err)
+		}
 	}
 }

@@ -1,11 +1,37 @@
 package fault
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 
 	"repro/internal/mesh"
 )
+
+// ErrCount reports an invalid requested fault count (negative, or large
+// enough to disable every node). Returned wrapped by ValidateCount;
+// match with errors.Is.
+var ErrCount = errors.New("invalid fault count")
+
+// ErrNotAdjacent reports a link whose endpoints are not mesh neighbors.
+// Returned wrapped by DisableLinks; match with errors.Is.
+var ErrNotAdjacent = errors.New("link endpoints are not adjacent")
+
+// ValidateCount checks that injecting count faults into m is meaningful:
+// count must be non-negative and strictly below the node count (count >=
+// W*H would disable the whole mesh, leaving nothing to route). Callers
+// that take counts from external input should validate here instead of
+// relying on the generators' internal clamping.
+func ValidateCount(m mesh.Mesh, count int) error {
+	if count < 0 {
+		return fmt.Errorf("fault: %w: %d is negative", ErrCount, count)
+	}
+	if count >= m.Nodes() {
+		return fmt.Errorf("fault: %w: %d >= %d nodes (would disable the whole %v)",
+			ErrCount, count, m.Nodes(), m)
+	}
+	return nil
+}
 
 // Generator produces fault sets for a mesh. Implementations must be
 // deterministic given the *rand.Rand they are handed.
@@ -150,7 +176,7 @@ type Link struct {
 func DisableLinks(s *Set, links []Link) error {
 	for _, l := range links {
 		if _, ok := l.A.DirTo(l.B); !ok {
-			return fmt.Errorf("fault: link %v-%v endpoints are not adjacent", l.A, l.B)
+			return fmt.Errorf("fault: link %v-%v: %w", l.A, l.B, ErrNotAdjacent)
 		}
 		if !s.Mesh().In(l.A) || !s.Mesh().In(l.B) {
 			return fmt.Errorf("fault: link %v-%v outside %v", l.A, l.B, s.Mesh())

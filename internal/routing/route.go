@@ -59,7 +59,24 @@ type Options struct {
 	Rng *rand.Rand
 	// MaxHops bounds the walk; 0 means 8 * nodes.
 	MaxHops int
+	// Stop, when non-nil, is polled before the first hop and then about
+	// every stopPollHops hops; a non-nil return aborts the walk with
+	// Abort = AbortCanceled. It hooks the walk's step budget to an
+	// external lifetime (a context deadline or cancellation) without
+	// pulling context into the hot path: the poll granularity keeps the
+	// per-hop cost at one counter decrement.
+	Stop func() error
 }
+
+// AbortCanceled is the Result.Abort prefix of walks stopped by
+// Options.Stop; the stop error's text follows after ": ".
+const AbortCanceled = "canceled"
+
+// stopPollHops is the hop interval between Options.Stop polls. Walks are
+// bounded by 8*nodes hops, so even at this granularity a canceled walk
+// dies within a tiny fraction of its budget, while per-hop ctx.Err()
+// mutex traffic (shared across a whole worker pool) is avoided.
+const stopPollHops = 64
 
 func (o Options) maxHops(m mesh.Mesh) int {
 	if o.MaxHops > 0 {
@@ -120,6 +137,11 @@ type walk struct {
 	// enclosed by unsafe neighbors of mixed kinds, and the MCC-region wall
 	// must then be abandoned for the physical one.
 	downgraded bool
+	// stop / stopIn implement the Options.Stop poll: stopIn counts hops
+	// down to the next poll (0 forces a poll on the first done check, so
+	// an already-expired deadline aborts before any hop).
+	stop   func() error
+	stopIn int
 }
 
 // Revisit thresholds: flipping the wall side on the 4th visit to the same
@@ -130,7 +152,7 @@ const (
 	abortVisits = 12
 )
 
-func (a *Analysis) newWalk(s, d mesh.Coord) *walk {
+func (a *Analysis) newWalk(s, d mesh.Coord, opt Options) *walk {
 	return &walk{
 		a:          a,
 		res:        Result{Path: []mesh.Coord{s}},
@@ -138,6 +160,7 @@ func (a *Analysis) newWalk(s, d mesh.Coord) *walk {
 		d:          d,
 		obstacle:   func(c mesh.Coord) bool { return a.faults.Faulty(c) },
 		visitCount: map[mesh.Coord]int{s: 1},
+		stop:       opt.Stop,
 	}
 }
 
@@ -227,16 +250,28 @@ func (w *walk) finish() Result {
 }
 
 func (w *walk) exhausted() Result {
-	if w.stuck {
+	switch {
+	case w.res.Abort != "": // canceled via Options.Stop; keep the reason
+	case w.stuck:
 		w.res.Abort = "livelock"
-	} else {
+	default:
 		w.res.Abort = "hop budget exhausted"
 	}
 	return w.res
 }
 
-// done reports whether the walk should stop without delivery.
+// done reports whether the walk should stop without delivery. It is called
+// once per hop and doubles as the Options.Stop poll site.
 func (w *walk) done(maxHops int) bool {
+	if w.stop != nil {
+		if w.stopIn--; w.stopIn < 0 {
+			w.stopIn = stopPollHops
+			if err := w.stop(); err != nil {
+				w.res.Abort = AbortCanceled + ": " + err.Error()
+				return true
+			}
+		}
+	}
 	return w.stuck || len(w.res.Path) > maxHops
 }
 
@@ -261,7 +296,7 @@ func (w *walk) progressDir(cu, ct mesh.Coord, e env) mesh.Direction {
 // routeEcube is dimension-order XY routing with wall-following detours
 // around faulty regions, the baseline of Figure 5(e).
 func (a *Analysis) routeEcube(s, d mesh.Coord, opt Options) Result {
-	w := a.newWalk(s, d)
+	w := a.newWalk(s, d, opt)
 	for !w.done(opt.maxHops(a.m)) {
 		if w.u == d {
 			return w.finish()
@@ -294,7 +329,7 @@ func dimOrderDir(u, d mesh.Coord) mesh.Direction {
 // wall-following detour around the blocking region whenever the candidate
 // set empties.
 func (a *Analysis) routeRB1(s, d mesh.Coord, opt Options) Result {
-	w := a.newWalk(s, d)
+	w := a.newWalk(s, d, opt)
 	for !w.done(opt.maxHops(a.m)) {
 		if w.u == d {
 			return w.finish()
@@ -326,7 +361,7 @@ func (a *Analysis) routeRB1(s, d mesh.Coord, opt Options) Result {
 // Equations 2/3 for the detour pivots, route Manhattan legs to each pivot,
 // and repeat from there.
 func (a *Analysis) routePlanned(s, d mesh.Coord, opt Options, model info.Model, find seqFinder) Result {
-	w := a.newWalk(s, d)
+	w := a.newWalk(s, d, opt)
 	var pending []mesh.Coord // pivots ahead, original coordinates
 	replans := 0
 	for !w.done(opt.maxHops(a.m)) {

@@ -1,0 +1,72 @@
+package routing
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/mesh"
+	"repro/internal/spath"
+	"strings"
+)
+
+// TestOptionsStopAbortsWalk pins the Options.Stop contract: a hook that
+// trips immediately aborts the walk before any hop with AbortCanceled,
+// and a never-tripping hook changes nothing.
+func TestOptionsStopAbortsWalk(t *testing.T) {
+	m := mesh.Square(24)
+	f := fault.Uniform{}.Generate(m, 60, rand.New(rand.NewSource(1)))
+	a := NewAnalysis(f)
+	var s, d mesh.Coord
+	r := rand.New(rand.NewSource(2))
+	for {
+		s = mesh.C(r.Intn(24), r.Intn(24))
+		d = mesh.C(r.Intn(24), r.Intn(24))
+		if s != d && !f.Faulty(s) && !f.Faulty(d) && spath.Distance(f, s, d) < spath.Infinite {
+			break
+		}
+	}
+
+	boom := errors.New("deadline hit")
+	res := Route(a, RB2, s, d, Options{Stop: func() error { return boom }})
+	if res.Delivered {
+		t.Fatal("stopped walk delivered")
+	}
+	if !strings.HasPrefix(res.Abort, AbortCanceled) || !strings.Contains(res.Abort, "deadline hit") {
+		t.Errorf("Abort = %q, want %q prefix with cause", res.Abort, AbortCanceled)
+	}
+	if len(res.Path) != 1 {
+		t.Errorf("immediately-stopped walk took %d hops", len(res.Path)-1)
+	}
+
+	clean := Route(a, RB2, s, d, Options{Stop: func() error { return nil }})
+	bare := Route(a, RB2, s, d, Options{})
+	if clean.Delivered != bare.Delivered || clean.Hops != bare.Hops {
+		t.Errorf("inert Stop changed the walk: %+v vs %+v", clean, bare)
+	}
+}
+
+// TestOptionsStopPollGranularity verifies the hook fires mid-walk within
+// one poll interval: a hook tripping after the first poll bounds the walk
+// to ~stopPollHops hops even with a huge budget.
+func TestOptionsStopPollGranularity(t *testing.T) {
+	m := mesh.Square(80)
+	f := fault.NewSet(m)
+	a := NewAnalysis(f)
+	calls := 0
+	res := Route(a, Ecube, mesh.C(0, 0), mesh.C(79, 79), Options{
+		Stop: func() error {
+			if calls++; calls > 1 {
+				return errors.New("expired")
+			}
+			return nil
+		},
+	})
+	if res.Delivered {
+		t.Fatal("walk outran the stop hook")
+	}
+	if hops := len(res.Path) - 1; hops > stopPollHops+1 {
+		t.Errorf("walk ran %d hops past a tripped hook (poll interval %d)", hops, stopPollHops)
+	}
+}

@@ -6,32 +6,57 @@
 //
 // It wraps the internal substrate — MCC labeling, fault-region geometry,
 // the B1/B2/B3 information models, and the E-cube/RB1/RB2/RB3 routing
-// algorithms — behind a small API:
+// algorithms — behind the stable API v1 request/response surface:
 //
 //	net := meshroute.NewSquare(100)
-//	net.InjectRandom(1500, 42)           // or net.AddFault / net.AddLinkFault
-//	res, err := net.Route(meshroute.RB2, meshroute.C(3, 5), meshroute.C(90, 80))
-//	fmt.Println(res.Hops, res.Optimal)
+//	err := net.Apply(func(tx *meshroute.Tx) error {
+//	    return tx.InjectRandom(1500, 42) // or tx.AddFault / tx.AddLinkFault
+//	})
+//	resp, err := net.Route(ctx, meshroute.RouteRequest{
+//	    Src: meshroute.C(3, 5), Dst: meshroute.C(90, 80),
+//	})
+//	fmt.Println(resp.Hops, resp.Oracle.Shortest)
+//
+// # API v1
+//
+// Requests take a context and return typed errors:
+//
+//   - Route(ctx, RouteRequest, ...RouteOption) routes one pair; RouteBatch
+//     (ctx, BatchRequest, ...RouteOption) streams a batch through a worker
+//     pool via the Batch iterator without buffering all results.
+//   - Functional options tune a call: WithAlgorithm (default RB2),
+//     WithPolicy, WithWorkers, WithMaxHops, and WithoutOracle to skip the
+//     per-pair BFS oracle on hot paths.
+//   - Failures wrap the typed taxonomy of errors.go (ErrOutsideMesh,
+//     ErrFaultyEndpoint, ErrUnreachable, *ErrAborted, ErrCanceled,
+//     ErrInvalidFaultCount) — dispatch with errors.Is / errors.As.
+//   - Fault changes go through the atomic transaction API Apply: all edits
+//     of one transaction publish as exactly one engine snapshot, and a
+//     failed transaction publishes nothing.
+//
+// The pre-v1 methods (RouteLegacy, RouteBatchLegacy, and the single-edit
+// mutators) remain as thin shims over the same machinery.
 //
 // # Concurrency
 //
-// Routing runs on the concurrent engine of internal/engine: fault
-// injections stage changes, and the first routing (or analysis) call after
-// a change publishes an immutable precomputed snapshot behind an atomic
-// pointer. Every Network method is safe to call from any goroutine: the
-// staging state (fault edits, policy, publication bookkeeping) is guarded
-// by a short internal mutex, while the routing hot path runs lock-free
+// Routing runs on the concurrent engine of internal/engine: Apply builds
+// the next fault configuration off to the side and publishes an immutable
+// precomputed snapshot behind an atomic pointer. Every Network method is
+// safe to call from any goroutine: writers (Apply and the legacy mutators)
+// are serialized by a short internal mutex, while the routing hot path and
+// all reads (Faulty, FaultCount, Connected, Stats, Analysis) run lock-free
 // against the published snapshot — one Route pins one snapshot for its
 // whole call (walk and oracle included), so concurrent fault publications
-// never produce a mixed-configuration result. RouteBatch additionally fans
-// one batch of pairs out across a worker pool, all served from a single
-// snapshot.
+// never produce a mixed-configuration result, and no reader ever observes
+// a partially applied transaction. RouteBatch additionally fans one batch
+// of pairs out across a worker pool, all served from a single snapshot.
 package meshroute
 
 import (
+	"context"
 	"fmt"
-	"math/rand"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/engine"
 	"repro/internal/fault"
@@ -59,7 +84,7 @@ const (
 	// RB1 routes with B1 boundary information plus detours (Algorithm 3).
 	RB1 = routing.RB1
 	// RB2 routes multi-phase on the full information model B2 (Algorithm 5);
-	// it achieves the shortest path (Theorem 1).
+	// it achieves the shortest path (Theorem 1) and is the default.
 	RB2 = routing.RB2
 	// RB3 routes on the practical boundary-only model B3 (Algorithm 7).
 	RB3 = routing.RB3
@@ -78,28 +103,23 @@ const (
 	PolicyYFirst = routing.PolicyYFirst
 )
 
-// Pair is one source/destination request for RouteBatch.
-type Pair = engine.Pair
-
-// BatchResult is one RouteBatch outcome (request, engine result, error).
-type BatchResult = engine.BatchResult
-
 // Network is a 2-D mesh with a fault configuration and a concurrent
 // routing engine serving precomputed analysis snapshots.
 type Network struct {
-	m mesh.Mesh
-
-	mu     sync.Mutex // guards staged, router, dirty, opts
-	staged *fault.Set // mutable staging copy; published to the engine on sync
+	m      mesh.Mesh
 	router *engine.Router
-	dirty  bool
-	opts   routing.Options
+
+	mu      sync.Mutex                      // serializes Apply transactions
+	opts    atomic.Pointer[routing.Options] // walk defaults (SetPolicy); never nil
+	pending atomic.Int64                    // edits staged by an in-flight Apply
 }
 
 // New returns a fault-free W x H mesh network.
 func New(w, h int) *Network {
 	m := mesh.New(w, h)
-	return &Network{m: m, staged: fault.NewSet(m), dirty: true}
+	n := &Network{m: m, router: engine.New(fault.NewSet(m), engine.Options{})}
+	n.opts.Store(&routing.Options{})
+	return n
 }
 
 // NewSquare returns an n x n network, the paper's configuration.
@@ -111,81 +131,108 @@ func (n *Network) Width() int { return n.m.Width() }
 // Height returns the Y extent of the mesh.
 func (n *Network) Height() int { return n.m.Height() }
 
-// AddFault marks a node faulty.
-func (n *Network) AddFault(c Coord) error {
-	if !n.m.In(c) {
-		return fmt.Errorf("meshroute: %v outside %v", c, n.m)
+// SetPolicy chooses the default adaptive selection policy used by
+// Algorithm 2 step 3 (default: diagonal balancing). Per-call WithPolicy
+// overrides it.
+func (n *Network) SetPolicy(p Policy) {
+	for {
+		old := n.opts.Load()
+		next := *old
+		next.Policy = p
+		if n.opts.CompareAndSwap(old, &next) {
+			return
+		}
 	}
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.staged.Add(c)
-	n.dirty = true
-	return nil
 }
 
-// AddLinkFault disables a link by disabling both adjacent nodes, the
-// paper's reduction of link faults to node faults.
-func (n *Network) AddLinkFault(a, b Coord) error {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if err := fault.DisableLinks(n.staged, []fault.Link{{A: a, B: b}}); err != nil {
-		return err
+// RouteRequest asks for one routing from Src to Dst. Algorithm, policy,
+// and oracle behavior come from RouteOptions (default: RB2, the network
+// policy, oracle on).
+type RouteRequest struct {
+	Src, Dst Coord
+}
+
+// OracleReport compares a routed walk against the independent BFS oracle.
+type OracleReport struct {
+	// Optimal is the true shortest-path length D(s,d).
+	Optimal int
+	// Shortest reports whether the walk achieved the optimum.
+	Shortest bool
+	// ManhattanFeasible reports whether a Manhattan-distance path existed.
+	ManhattanFeasible bool
+}
+
+// RouteResponse reports one delivered routing.
+type RouteResponse struct {
+	// Path is the node sequence walked, source first.
+	Path []Coord
+	// Hops is the walked length.
+	Hops int
+	// Phases counts intermediate detour destinations used (RB2/RB3).
+	Phases int
+	// DetourHops counts hops taken in wall-following detour mode.
+	DetourHops int
+	// SnapshotVersion identifies the engine snapshot that served the
+	// request (monotone across fault publications).
+	SnapshotVersion uint64
+	// Oracle carries the BFS comparison; nil when WithoutOracle was set.
+	Oracle *OracleReport
+}
+
+// Route routes one request on the published fault configuration. It fails
+// with a typed error when an endpoint is outside the mesh or faulty, the
+// destination is unreachable (oracle on), the walk aborts, or ctx is
+// canceled — see the taxonomy in errors.go. The whole call (endpoint
+// checks, walk, oracle) is served from one pinned snapshot.
+func (n *Network) Route(ctx context.Context, req RouteRequest, opts ...RouteOption) (RouteResponse, error) {
+	cfg := n.newRouteConfig(opts)
+	snap := n.router.Snapshot()
+	res, err := snap.RouteCtx(ctx, cfg.algo, req.Src, req.Dst, cfg.opts)
+	if err != nil {
+		return RouteResponse{}, fmt.Errorf("meshroute: %w", err)
 	}
-	n.dirty = true
-	return nil
+	return finishResponse(snap, cfg, req.Src, req.Dst, res)
 }
 
-// RepairFault clears a fault.
-func (n *Network) RepairFault(c Coord) error {
-	if !n.m.In(c) {
-		return fmt.Errorf("meshroute: %v outside %v", c, n.m)
+// finishResponse classifies a raw engine result into the v1 response and
+// error taxonomy, running the BFS oracle when enabled. Shared by Route and
+// the batch item mapper; everything reads the one pinned snapshot.
+func finishResponse(snap *engine.Snapshot, cfg routeConfig, s, d Coord, res engine.Result) (RouteResponse, error) {
+	optimal := int32(-1)
+	if cfg.oracle {
+		optimal = spath.Distance(snap.Faults(), s, d)
+		if optimal >= spath.Infinite {
+			return RouteResponse{}, fmt.Errorf("meshroute: %v unreachable from %v: %w", d, s, ErrUnreachable)
+		}
 	}
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.staged.Remove(c)
-	n.dirty = true
-	return nil
+	if !res.Delivered {
+		return RouteResponse{}, &ErrAborted{
+			Algorithm: cfg.algo, Src: s, Dst: d,
+			Reason: res.Abort, Hops: len(res.Path) - 1, Path: res.Path,
+		}
+	}
+	resp := RouteResponse{
+		Path:            res.Path,
+		Hops:            res.Hops,
+		Phases:          res.Phases,
+		DetourHops:      res.DetourHops,
+		SnapshotVersion: res.Version,
+	}
+	if cfg.oracle {
+		resp.Oracle = &OracleReport{
+			Optimal:           int(optimal),
+			Shortest:          res.Hops == int(optimal),
+			ManhattanFeasible: spath.ManhattanReachable(snap.Faults(), s, d),
+		}
+	}
+	return resp, nil
 }
 
-// InjectRandom places count uniformly random faults using the given seed
-// (the paper's workload).
-func (n *Network) InjectRandom(count int, seed int64) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.staged = fault.Uniform{}.Generate(n.m, count, rand.New(rand.NewSource(seed)))
-	n.dirty = true
-}
-
-// FaultCount returns the number of faulty nodes.
-func (n *Network) FaultCount() int {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.staged.Count()
-}
-
-// Faulty reports whether c is faulty.
-func (n *Network) Faulty(c Coord) bool {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.staged.Faulty(c)
-}
-
-// Connected reports whether the surviving nodes form one component.
-func (n *Network) Connected() bool {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.staged.Connected()
-}
-
-// SetPolicy chooses the adaptive selection policy used by Algorithm 2
-// step 3 (default: diagonal balancing).
-func (n *Network) SetPolicy(p routing.Policy) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.opts.Policy = p
-}
-
-// Result reports one routing, augmented with oracle comparisons.
+// Result reports one routing of the pre-v1 API, with oracle comparisons
+// flattened in.
+//
+// Deprecated: API v1 returns RouteResponse; Result remains for
+// RouteLegacy callers.
 type Result struct {
 	// Path is the node sequence walked, source first.
 	Path []Coord
@@ -201,35 +248,34 @@ type Result struct {
 	ManhattanFeasible bool
 }
 
-// syncLocked publishes pending fault changes and returns the router plus
-// the current walk options. Callers must hold n.mu; the returned values
-// are safe to use after release (router is concurrent, opts is a copy).
-func (n *Network) syncLocked() (*engine.Router, routing.Options) {
-	if n.router == nil {
-		n.router = engine.New(n.staged, engine.Options{})
-		n.dirty = false
-	} else if n.dirty {
-		n.router.Swap(n.staged)
-		n.dirty = false
+// RouteLegacy routes with the pre-v1 calling convention.
+//
+// Deprecated: use Route with a RouteRequest and WithAlgorithm; it adds
+// context cancellation and typed errors.
+func (n *Network) RouteLegacy(algo Algorithm, s, d Coord) (Result, error) {
+	resp, err := n.Route(context.Background(), RouteRequest{Src: s, Dst: d}, WithAlgorithm(algo))
+	if err != nil {
+		return Result{}, err
 	}
-	return n.router, n.opts
+	return Result{
+		Path:              resp.Path,
+		Hops:              resp.Hops,
+		Optimal:           resp.Oracle.Optimal,
+		Shortest:          resp.Oracle.Shortest,
+		Phases:            resp.Phases,
+		ManhattanFeasible: resp.Oracle.ManhattanFeasible,
+	}, nil
 }
 
-// Engine publishes pending fault changes (if any) and returns the routing
-// engine. The returned Router is safe for concurrent use; its snapshot
-// reflects the staged configuration at call time.
-func (n *Network) Engine() *engine.Router {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	eng, _ := n.syncLocked()
-	return eng
-}
+// Engine returns the routing engine serving this network. The returned
+// Router is safe for concurrent use; its snapshot reflects the published
+// configuration at call time.
+func (n *Network) Engine() *engine.Router { return n.router }
 
-// Analysis exposes the current precomputed per-orientation analysis,
-// publishing staged fault changes first. The returned Analysis is
-// immutable and safe for concurrent use.
+// Analysis exposes the published precomputed per-orientation analysis.
+// The returned Analysis is immutable and safe for concurrent use.
 func (n *Network) Analysis() *routing.Analysis {
-	return n.Engine().Snapshot().Analysis()
+	return n.router.Snapshot().Analysis()
 }
 
 // Unsafe reports whether c is unsafe (inside an MCC) for routings heading
@@ -246,55 +292,6 @@ func (n *Network) MCCs() []*mcc.MCC { return n.Analysis().MCCs(mesh.NE).All() }
 // useful for inspecting propagation cost.
 func (n *Network) InfoStore(m info.Model) *info.Store {
 	return n.Analysis().Store(m, mesh.NE)
-}
-
-// Route routes from s to d with the chosen algorithm and returns the
-// walked path together with oracle comparisons. It fails when an endpoint
-// is faulty/outside, when d is unreachable, or when the walk aborts.
-func (n *Network) Route(algo Algorithm, s, d Coord) (Result, error) {
-	if !n.m.In(s) || !n.m.In(d) {
-		return Result{}, fmt.Errorf("meshroute: endpoints %v -> %v outside %v", s, d, n.m)
-	}
-	n.mu.Lock()
-	eng, opts := n.syncLocked()
-	n.mu.Unlock()
-	// Pin one snapshot for the whole call: endpoint checks, walk, and
-	// oracle comparisons all observe the same configuration even if a
-	// concurrent mutator publishes mid-route.
-	snap := eng.Snapshot()
-	if snap.Faults().Faulty(s) || snap.Faults().Faulty(d) {
-		return Result{}, fmt.Errorf("meshroute: faulty endpoint in %v -> %v", s, d)
-	}
-	optimal := spath.Distance(snap.Faults(), s, d)
-	if optimal >= spath.Infinite {
-		return Result{}, fmt.Errorf("meshroute: %v unreachable from %v", d, s)
-	}
-	res, err := snap.Route(algo, s, d, opts)
-	if err != nil {
-		return Result{}, fmt.Errorf("meshroute: %w", err)
-	}
-	if !res.Delivered {
-		return Result{}, fmt.Errorf("meshroute: %v aborted %v -> %v: %s", algo, s, d, res.Abort)
-	}
-	return Result{
-		Path:              res.Path,
-		Hops:              res.Hops,
-		Optimal:           int(optimal),
-		Shortest:          res.Hops == int(optimal),
-		Phases:            res.Phases,
-		ManhattanFeasible: spath.ManhattanReachable(snap.Faults(), s, d),
-	}, nil
-}
-
-// RouteBatch routes every pair with algo across a pool of workers
-// (workers <= 0 means GOMAXPROCS), publishing staged fault changes first.
-// Results come back in input order, honor the policy set via SetPolicy,
-// and are all served from one consistent snapshot.
-func (n *Network) RouteBatch(algo Algorithm, pairs []Pair, workers int) []BatchResult {
-	n.mu.Lock()
-	eng, opts := n.syncLocked()
-	n.mu.Unlock()
-	return eng.RouteBatchWith(algo, pairs, workers, opts)
 }
 
 // LabelCounts returns the node-status census for the canonical orientation:

@@ -1,0 +1,60 @@
+package meshroute
+
+import "repro/internal/routing"
+
+// RouteOption is a functional option for Route and RouteBatch. Options
+// apply per call and override the network-level defaults (SetPolicy, the
+// RB2 default algorithm); zero options means "route with RB2, the
+// network's policy, and full oracle comparisons".
+type RouteOption func(*routeConfig)
+
+// routeConfig is the resolved per-call configuration.
+type routeConfig struct {
+	algo    Algorithm
+	opts    routing.Options
+	workers int
+	oracle  bool
+}
+
+// newRouteConfig resolves the per-call configuration from the network
+// defaults and the caller's options.
+func (n *Network) newRouteConfig(opts []RouteOption) routeConfig {
+	cfg := routeConfig{algo: RB2, opts: *n.opts.Load(), oracle: true}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg
+}
+
+// WithAlgorithm selects the routing algorithm (default RB2, the paper's
+// shortest-path algorithm).
+func WithAlgorithm(a Algorithm) RouteOption {
+	return func(c *routeConfig) { c.algo = a }
+}
+
+// WithPolicy overrides the adaptive selection policy of Algorithm 2
+// step 3 for this call (default: the network's SetPolicy value).
+func WithPolicy(p Policy) RouteOption {
+	return func(c *routeConfig) { c.opts.Policy = p }
+}
+
+// WithWorkers bounds the worker pool RouteBatch fans pairs across;
+// <= 0 (the default) means GOMAXPROCS. Single-pair Route ignores it.
+func WithWorkers(workers int) RouteOption {
+	return func(c *routeConfig) { c.workers = workers }
+}
+
+// WithoutOracle skips the BFS shortest-path oracle: the response carries
+// no Oracle report and unreachable destinations surface as *ErrAborted
+// (walk failure) instead of ErrUnreachable. The oracle costs an O(nodes)
+// BFS per pair — production hot paths and large sweeps should skip it;
+// measurement and tests keep it.
+func WithoutOracle() RouteOption {
+	return func(c *routeConfig) { c.oracle = false }
+}
+
+// WithMaxHops bounds the walk's hop budget for this call (0 keeps the
+// default of 8 x nodes). Exhausting the budget aborts with *ErrAborted.
+func WithMaxHops(hops int) RouteOption {
+	return func(c *routeConfig) { c.opts.MaxHops = hops }
+}

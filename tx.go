@@ -1,0 +1,180 @@
+package meshroute
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+
+	"repro/internal/fault"
+	"repro/internal/mesh"
+)
+
+// Tx stages fault edits inside one Apply transaction. All edits operate on
+// a private working copy of the published fault set; nothing becomes
+// visible to routing (or to the read methods Faulty / FaultCount /
+// Connected) until Apply commits, and then everything becomes visible at
+// once. A Tx must not be used outside its Apply callback or from other
+// goroutines.
+type Tx struct {
+	m       mesh.Mesh
+	f       *fault.Set
+	edits   int
+	pending *atomic.Int64
+}
+
+// note records one staged edit (for Stats' pending-edit gauge).
+func (tx *Tx) note() {
+	tx.edits++
+	tx.pending.Add(1)
+}
+
+// AddFault stages marking c faulty.
+func (tx *Tx) AddFault(c Coord) error {
+	if !tx.m.In(c) {
+		return fmt.Errorf("meshroute: fault %v outside %v: %w", c, tx.m, ErrOutsideMesh)
+	}
+	tx.f.Add(c)
+	tx.note()
+	return nil
+}
+
+// RepairFault stages clearing the fault at c.
+func (tx *Tx) RepairFault(c Coord) error {
+	if !tx.m.In(c) {
+		return fmt.Errorf("meshroute: repair %v outside %v: %w", c, tx.m, ErrOutsideMesh)
+	}
+	tx.f.Remove(c)
+	tx.note()
+	return nil
+}
+
+// AddLinkFault stages disabling the link a-b by disabling both adjacent
+// nodes, the paper's reduction of link faults to node faults.
+func (tx *Tx) AddLinkFault(a, b Coord) error {
+	if !tx.m.In(a) || !tx.m.In(b) {
+		return fmt.Errorf("meshroute: link %v-%v outside %v: %w", a, b, tx.m, ErrOutsideMesh)
+	}
+	if err := fault.DisableLinks(tx.f, []fault.Link{{A: a, B: b}}); err != nil {
+		return err
+	}
+	tx.note()
+	return nil
+}
+
+// InjectRandom stages replacing the entire working fault set with count
+// uniformly random faults drawn from seed (the paper's workload). It
+// rejects invalid counts (negative, or >= W*H which would disable the
+// whole mesh) with ErrInvalidFaultCount instead of silently clamping.
+func (tx *Tx) InjectRandom(count int, seed int64) error {
+	if err := fault.ValidateCount(tx.m, count); err != nil {
+		return err
+	}
+	tx.f = fault.Uniform{}.Generate(tx.m, count, rand.New(rand.NewSource(seed)))
+	tx.note()
+	return nil
+}
+
+// Faulty reports whether c is faulty in the transaction's staged view
+// (published faults plus this transaction's edits).
+func (tx *Tx) Faulty(c Coord) bool { return tx.f.Faulty(c) }
+
+// FaultCount returns the staged number of faulty nodes.
+func (tx *Tx) FaultCount() int { return tx.f.Count() }
+
+// Apply runs fn inside an atomic fault transaction. The staged edits
+// publish as exactly one engine snapshot when fn returns nil (an edit-free
+// transaction publishes nothing); if fn returns an error the transaction
+// rolls back completely, nothing is published, and the error is returned
+// wrapped. Concurrent readers and routers never observe a partially
+// applied transaction: they serve the previous snapshot until the single
+// atomic publication. Transactions are serialized among themselves.
+func (n *Network) Apply(fn func(tx *Tx) error) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	defer n.pending.Store(0)
+	tx := &Tx{m: n.m, f: n.router.Snapshot().Faults().Clone(), pending: &n.pending}
+	if err := fn(tx); err != nil {
+		return fmt.Errorf("meshroute: transaction rolled back: %w", err)
+	}
+	if tx.edits > 0 {
+		n.router.Swap(tx.f)
+	}
+	return nil
+}
+
+// Stats is a point-in-time snapshot of the network's serving state.
+type Stats struct {
+	// Width, Height are the mesh extents.
+	Width, Height int
+	// PublishedFaults counts faulty nodes in the snapshot Route serves.
+	PublishedFaults int
+	// PendingEdits counts edits staged by an in-flight Apply transaction
+	// (0 when no transaction is running). Pending edits are invisible to
+	// routing until their transaction commits.
+	PendingEdits int
+	// SnapshotVersion is the monotone version of the published snapshot;
+	// it advances by exactly one per committed transaction.
+	SnapshotVersion uint64
+}
+
+// Stats reports the published fault count, the pending-edit count of any
+// in-flight transaction, and the snapshot version. The two counters are
+// read independently (each atomically); treat the pair as advisory.
+func (n *Network) Stats() Stats {
+	snap := n.router.Snapshot()
+	return Stats{
+		Width:           n.m.Width(),
+		Height:          n.m.Height(),
+		PublishedFaults: snap.Faults().Count(),
+		PendingEdits:    int(n.pending.Load()),
+		SnapshotVersion: snap.Version(),
+	}
+}
+
+// FaultCount returns the number of faulty nodes in the published snapshot
+// — the same configuration Route serves. Edits staged by an in-flight
+// Apply transaction are not included; see Stats for both gauges.
+func (n *Network) FaultCount() int {
+	return n.router.Snapshot().Faults().Count()
+}
+
+// Faulty reports whether c is faulty in the published snapshot — the same
+// configuration Route serves (staged transaction edits excluded).
+func (n *Network) Faulty(c Coord) bool {
+	return n.router.Snapshot().Faults().Faulty(c)
+}
+
+// Connected reports whether the surviving nodes of the published snapshot
+// form one component.
+func (n *Network) Connected() bool {
+	return n.router.Snapshot().Faults().Connected()
+}
+
+// AddFault marks a node faulty, publishing one snapshot.
+//
+// Use Apply to batch several edits into one atomic publication.
+func (n *Network) AddFault(c Coord) error {
+	return n.Apply(func(tx *Tx) error { return tx.AddFault(c) })
+}
+
+// AddLinkFault disables a link by disabling both adjacent nodes,
+// publishing one snapshot.
+//
+// Use Apply to batch several edits into one atomic publication.
+func (n *Network) AddLinkFault(a, b Coord) error {
+	return n.Apply(func(tx *Tx) error { return tx.AddLinkFault(a, b) })
+}
+
+// RepairFault clears a fault, publishing one snapshot.
+//
+// Use Apply to batch several edits into one atomic publication.
+func (n *Network) RepairFault(c Coord) error {
+	return n.Apply(func(tx *Tx) error { return tx.RepairFault(c) })
+}
+
+// InjectRandom replaces the fault configuration with count uniformly
+// random faults using the given seed (the paper's workload), publishing
+// one snapshot. Invalid counts fail with ErrInvalidFaultCount.
+func (n *Network) InjectRandom(count int, seed int64) error {
+	return n.Apply(func(tx *Tx) error { return tx.InjectRandom(count, seed) })
+}
