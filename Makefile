@@ -3,9 +3,23 @@
 GO ?= go
 # Machine-readable benchmark output (see bench-json).
 BENCH_JSON ?= BENCH_routing.json
-BENCH_PATTERN ?= BenchmarkRoute
+BENCH_PATTERN ?= BenchmarkRoute|BenchmarkOracle|BenchmarkDistance|BenchmarkManhattan
+# Benchmarked packages: the facade's routing/engine benchmarks plus the
+# spath oracle benchmarks (ManhattanReachable and the cached-vs-per-pair
+# BFS comparison).
+BENCH_PKGS ?= . ./internal/spath
+# Explicit iteration count: "50x" runs every matched benchmark exactly 50
+# times in one invocation instead of go test's time-based calibration,
+# which re-ran each benchmark function (and its fixture setup) several
+# times — the seeded bench-json run spent 159s on one benchmark that way.
+# The expensive 100x100/1500-fault engine is also built once per binary
+# now (see benchFix in bench_test.go), so the full bench-json suite
+# finishes in well under two minutes.
+BENCH_TIME ?= 50x
+# benchstat baseline ref for bench-compare.
+BENCH_BASE ?= origin/main
 
-.PHONY: all build vet fmt-check staticcheck test race bench-smoke bench-json check
+.PHONY: all build vet fmt-check staticcheck test race bench-smoke bench-json bench-compare check
 
 all: check
 
@@ -48,11 +62,28 @@ bench-smoke:
 
 # Machine-readable benchmarks: runs the routing benchmarks with `go test
 # -json` and writes the event stream to $(BENCH_JSON) (benchmark results
-# appear as Output events; one JSON object per line). This file seeds the
-# BENCH_*.json measurement trajectory — commit snapshots to track routing
-# throughput across PRs.
+# appear as Output events; one JSON object per line; allocs/op included
+# via -benchmem). This file seeds the BENCH_*.json measurement trajectory
+# — commit snapshots to track routing throughput across PRs.
 bench-json:
-	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime 1s -json . > $(BENCH_JSON)
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime $(BENCH_TIME) -benchmem -json $(BENCH_PKGS) > $(BENCH_JSON)
 	@echo "wrote $(BENCH_JSON)"
+
+# Local old-vs-new benchmark comparison against $(BENCH_BASE) via
+# benchstat (skipped with a hint when benchstat is not installed). CI runs
+# the same comparison as a non-blocking job on every PR.
+bench-compare:
+	@if ! command -v benchstat >/dev/null 2>&1; then \
+		echo "benchstat not installed; skipping (go install golang.org/x/perf/cmd/benchstat@latest)"; \
+		exit 0; \
+	fi; \
+	tmp=$$(mktemp -d); status=1; \
+	if git worktree add -q $$tmp/base $(BENCH_BASE); then \
+		( cd $$tmp/base && $(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime $(BENCH_TIME) -count 3 -benchmem ./... > $$tmp/old.txt 2>/dev/null || true ); \
+		if $(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime $(BENCH_TIME) -count 3 -benchmem $(BENCH_PKGS) > $$tmp/new.txt && \
+			benchstat $$tmp/old.txt $$tmp/new.txt; then status=0; fi; \
+		git worktree remove --force $$tmp/base; \
+	fi; \
+	rm -rf $$tmp; exit $$status
 
 check: fmt-check vet build staticcheck test race bench-smoke

@@ -11,7 +11,11 @@
 //
 //	meshsim [-n 100] [-faults 1500] [-trials 5] [-pairs 50] [-seed 1]
 //	        [-gen uniform|clustered|blocks] [-policy diagonal|xfirst|yfirst]
-//	        [-workers 0]
+//	        [-workers 0] [-cpuprofile routing.pprof] [-memprofile mem.pprof]
+//
+// The profiling flags write pprof files covering the sweep (`go tool
+// pprof` reads them) — the supported way to see where routing time and
+// steady-state allocations go at any scale.
 package main
 
 import (
@@ -21,6 +25,8 @@ import (
 	"math/rand"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"text/tabwriter"
 
 	"repro/internal/engine"
@@ -40,8 +46,12 @@ func main() {
 	genName := flag.String("gen", "uniform", "fault generator: uniform, clustered, blocks")
 	policyName := flag.String("policy", "diagonal", "adaptive policy: diagonal, xfirst, yfirst")
 	workers := flag.Int("workers", 0, "routing worker pool size (0 = GOMAXPROCS)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile (after the sweep) to this file")
 	flag.Parse()
 
+	// Validate flag values before starting any profile: os.Exit bypasses
+	// the Stop/write defers and would leave a truncated profile behind.
 	gens := map[string]fault.Generator{
 		"uniform": fault.Uniform{}, "clustered": fault.Clustered{}, "blocks": fault.Blocks{},
 	}
@@ -58,6 +68,35 @@ func main() {
 		fmt.Fprintf(os.Stderr, "meshsim: unknown policy %q\n", *policyName)
 		os.Exit(2)
 	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "meshsim: -cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "meshsim: -cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer func() {
+		if *memprofile == "" {
+			return
+		}
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "meshsim: -memprofile: %v\n", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC() // settle steady-state live objects before the snapshot
+		if err := pprof.Lookup("heap").WriteTo(f, 0); err != nil {
+			fmt.Fprintf(os.Stderr, "meshsim: -memprofile: %v\n", err)
+		}
+	}()
 
 	ctx, cancelSignals := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer cancelSignals()
@@ -81,7 +120,9 @@ func main() {
 			continue
 		}
 		eng := engine.New(f, engine.Options{Routing: routing.Options{Policy: policy}})
-		a := eng.Snapshot().Analysis()
+		snap := eng.Snapshot()
+		a := snap.Analysis()
+		oracle := snap.Oracle() // per-trial BFS cache; pairs sharing endpoints reuse fields
 		// Sample the trial's pairs sequentially (the RNG stream is part of
 		// the reproducible configuration), then fan the routing out.
 		var batch []engine.Pair
@@ -94,7 +135,7 @@ func main() {
 				if s == d || !a.Grid(o).Safe(o.To(m, s)) || !a.Grid(o).Safe(o.To(m, d)) {
 					continue
 				}
-				if dist := spath.Distance(f, s, d); dist < spath.Infinite {
+				if dist := oracle.Dist(s, d); dist < spath.Infinite {
 					batch = append(batch, engine.Pair{S: s, D: d})
 					optimal = append(optimal, dist)
 					break

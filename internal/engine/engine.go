@@ -41,6 +41,7 @@ import (
 	"repro/internal/labeling"
 	"repro/internal/mesh"
 	"repro/internal/routing"
+	"repro/internal/spath"
 )
 
 // Typed routing errors. Every error the engine returns wraps exactly one
@@ -67,10 +68,17 @@ func canceled(ctx context.Context) error {
 // Snapshot is one immutable (fault configuration, precomputed analysis)
 // pair. The fault set must not be mutated after the snapshot is built;
 // NewSnapshot clones its input to enforce that.
+//
+// Two serving-side caches hang off each snapshot and are invalidated for
+// free by snapshot replacement: a pool of routing.Scratch walk buffers
+// (one borrowed per in-flight route, one pinned per batch worker) and the
+// lazily-filled spath.Oracle distance-field cache.
 type Snapshot struct {
 	faults   *fault.Set
 	analysis *routing.Analysis
 	version  uint64
+	scratch  sync.Pool
+	oracle   *spath.Oracle
 }
 
 // NewSnapshot clones f and precomputes the analysis under the given
@@ -79,7 +87,11 @@ type Snapshot struct {
 func NewSnapshot(f *fault.Set, opts Options) *Snapshot {
 	frozen := f.Clone()
 	a := routing.NewAnalysisWithPolicy(frozen, opts.Border).Precompute(opts.Models...)
-	return &Snapshot{faults: frozen, analysis: a}
+	return &Snapshot{
+		faults:   frozen,
+		analysis: a,
+		oracle:   spath.NewOracle(frozen, opts.OracleBound),
+	}
 }
 
 // Faults returns the snapshot's fault set. Callers must treat it as
@@ -89,9 +101,27 @@ func (s *Snapshot) Faults() *fault.Set { return s.faults }
 // Analysis returns the precomputed analysis. Safe for concurrent use.
 func (s *Snapshot) Analysis() *routing.Analysis { return s.analysis }
 
+// Oracle returns the snapshot's BFS distance-field cache: lazily built,
+// bounded (Options.OracleBound), safe for concurrent use, and scoped to
+// exactly this fault configuration — a fault publication swaps in a fresh
+// snapshot and with it a fresh oracle, so cached distances can never go
+// stale. Measurement layers use it in place of per-pair spath.Distance.
+func (s *Snapshot) Oracle() *spath.Oracle { return s.oracle }
+
 // Version returns the monotone publication counter assigned by the Router
 // (0 for snapshots built directly via NewSnapshot).
 func (s *Snapshot) Version() uint64 { return s.version }
+
+// getScratch borrows a walk scratch from the snapshot's pool.
+func (s *Snapshot) getScratch() *routing.Scratch {
+	if sc, ok := s.scratch.Get().(*routing.Scratch); ok {
+		return sc
+	}
+	return routing.NewScratch(s.analysis.Mesh())
+}
+
+// putScratch returns a borrowed scratch.
+func (s *Snapshot) putScratch(sc *routing.Scratch) { s.scratch.Put(sc) }
 
 // Options configure a Router.
 type Options struct {
@@ -106,6 +136,9 @@ type Options struct {
 	// pass []info.Model{info.B2} to cut the per-publication rebuild cost.
 	// Routing an algorithm whose model was excluded is not safe.
 	Models []info.Model
+	// OracleBound caps the per-source BFS distance fields each snapshot's
+	// Oracle caches (<= 0 means spath.DefaultOracleBound).
+	OracleBound int
 }
 
 // Router serves routing queries concurrently over an atomically swappable
@@ -127,6 +160,9 @@ type Router struct {
 func New(f *fault.Set, opts Options) *Router {
 	if opts.Routing.Rng != nil {
 		panic("engine: Options.Routing.Rng must be nil (it would race across goroutines)")
+	}
+	if opts.Routing.Scratch != nil {
+		panic("engine: Options.Routing.Scratch must be nil (it would race across goroutines; the engine pools scratches per snapshot itself)")
 	}
 	r := &Router{opts: opts}
 	s := NewSnapshot(f, opts)
@@ -254,7 +290,10 @@ func withStop(ctx context.Context, opt routing.Options) routing.Options {
 	return opt
 }
 
-// routeOn runs one query against a pinned snapshot.
+// routeOn runs one query against a pinned snapshot. The walk borrows a
+// scratch from the snapshot's pool (unless the caller pinned one in opt,
+// as the batch workers do) and the path is detached from the scratch
+// buffer, so engine results stay valid indefinitely.
 func routeOn(snap *Snapshot, algo routing.Algo, s, d mesh.Coord, opt routing.Options) (Result, error) {
 	m := snap.analysis.Mesh()
 	if !m.In(s) || !m.In(d) {
@@ -263,10 +302,16 @@ func routeOn(snap *Snapshot, algo routing.Algo, s, d mesh.Coord, opt routing.Opt
 	if snap.faults.Faulty(s) || snap.faults.Faulty(d) {
 		return Result{}, fmt.Errorf("engine: %w in %v -> %v", ErrFaultyEndpoint, s, d)
 	}
-	return Result{
-		Result:  routing.Route(snap.analysis, algo, s, d, opt),
-		Version: snap.version,
-	}, nil
+	borrowed := opt.Scratch == nil
+	if borrowed {
+		opt.Scratch = snap.getScratch()
+	}
+	res := routing.Route(snap.analysis, algo, s, d, opt)
+	res.Path = append([]mesh.Coord(nil), res.Path...)
+	if borrowed {
+		snap.putScratch(opt.Scratch)
+	}
+	return Result{Result: res, Version: snap.version}, nil
 }
 
 // Pair is one source/destination routing request.
@@ -353,6 +398,9 @@ func (s *Snapshot) BatchStream(ctx context.Context, algo routing.Algo, pairs []P
 	if opt.Rng != nil {
 		panic("engine: batch options must not carry an Rng (it would race across workers)")
 	}
+	if opt.Scratch != nil {
+		panic("engine: batch options must not carry a Scratch (it would race across workers; the batch pins one per worker itself)")
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -371,6 +419,11 @@ func (s *Snapshot) BatchStream(ctx context.Context, algo routing.Algo, pairs []P
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
+			// Each worker pins one scratch for its whole share of the
+			// batch: reset per walk (an epoch bump), never reallocated.
+			opt := opt
+			opt.Scratch = s.getScratch()
+			defer s.putScratch(opt.Scratch)
 			for {
 				if ctx.Err() != nil {
 					return

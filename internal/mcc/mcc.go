@@ -29,6 +29,7 @@ package mcc
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/labeling"
 	"repro/internal/mesh"
@@ -148,6 +149,9 @@ type Set struct {
 	// for each chain axis; see sequence.go.
 	succY [][]*MCC
 	succX [][]*MCC
+	// scratch pools the FindSequence search buffers (sequence.go); the pool
+	// keeps the per-hop routing queries allocation-free at steady state.
+	scratch sync.Pool
 }
 
 // Extract identifies every MCC of the labeled grid and builds the query
@@ -240,6 +244,14 @@ func Extract(g *labeling.Grid) *Set {
 		for y := f.Y0; y <= f.Y1; y++ {
 			s.rowIndex[y] = insertByRowLo(s.rowIndex[y], f, y)
 		}
+	}
+	// Prefill the per-axis successor caches (sequence.go): after Extract
+	// returns, the Set is read-only, so concurrent FindSequence callers
+	// sharing one analysis snapshot never write it. The lazy fill the
+	// caches started with raced once routing went concurrent.
+	for _, f := range s.all {
+		s.successors(f, axisY)
+		s.successors(f, axisX)
 	}
 	return s
 }

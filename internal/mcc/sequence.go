@@ -94,50 +94,71 @@ type Sequence struct {
 // monotone path from u to d — the certification used during construction,
 // exported for tests and for the routing layer's sanity checks.
 func (q *Sequence) Blocks(u, d mesh.Coord) bool {
-	return !MonotoneReach(u, d, func(c mesh.Coord) bool {
-		for _, f := range q.Chain {
+	return chainBlocks(u, d, q.Chain, nil)
+}
+
+// chainBlocks is Blocks over a raw chain slice, with an optional reusable
+// DP buffer — findAxis certifies candidate chains in place without
+// materializing a Sequence per attempt.
+func chainBlocks(u, d mesh.Coord, chain []*MCC, buf *[]bool) bool {
+	return !monotoneReachBuf(u, d, func(c mesh.Coord) bool {
+		for _, f := range chain {
 			if f.Contains(c) {
 				return true
 			}
 		}
 		return false
-	})
+	}, buf)
 }
 
 // MonotoneReach reports whether a path using only +X/+Y moves connects u to
 // d without entering cells where obstacle returns true. It is the exact
 // oracle behind blocking decisions; cost is O(area of the u-d rectangle).
 func MonotoneReach(u, d mesh.Coord, obstacle func(mesh.Coord) bool) bool {
+	return monotoneReachBuf(u, d, obstacle, nil)
+}
+
+// monotoneReachBuf is MonotoneReach over an optional reusable DP buffer
+// (grown as needed; every cell is written, so no clearing between uses).
+func monotoneReachBuf(u, d mesh.Coord, obstacle func(mesh.Coord) bool, buf *[]bool) bool {
 	if u.X > d.X || u.Y > d.Y || obstacle(u) || obstacle(d) {
 		return false
 	}
 	w, h := d.X-u.X+1, d.Y-u.Y+1
-	reach := make([]bool, w*h)
+	var reach []bool
+	if buf != nil {
+		if cap(*buf) < w*h {
+			*buf = make([]bool, w*h)
+		}
+		reach = (*buf)[:w*h]
+	} else {
+		reach = make([]bool, w*h)
+	}
 	for y := 0; y < h; y++ {
 		for x := 0; x < w; x++ {
-			c := mesh.C(u.X+x, u.Y+y)
-			if obstacle(c) {
-				continue
+			v := false
+			if !obstacle(mesh.C(u.X+x, u.Y+y)) {
+				switch {
+				case x == 0 && y == 0:
+					v = true
+				case x == 0:
+					v = reach[(y-1)*w+x]
+				case y == 0:
+					v = reach[y*w+x-1]
+				default:
+					v = reach[y*w+x-1] || reach[(y-1)*w+x]
+				}
 			}
-			switch {
-			case x == 0 && y == 0:
-				reach[y*w+x] = true
-			case x == 0:
-				reach[y*w+x] = reach[(y-1)*w+x]
-			case y == 0:
-				reach[y*w+x] = reach[y*w+x-1]
-			default:
-				reach[y*w+x] = reach[y*w+x-1] || reach[(y-1)*w+x]
-			}
+			reach[y*w+x] = v
 		}
 	}
 	return reach[(h-1)*w+w-1]
 }
 
-// candidatesAbove returns the components whose forbidden region (along ax)
-// contains u, in ascending order of first-hit distance — the order the
-// paper's "+Y detection ray" would encounter them.
-func (s *Set) candidatesAbove(u mesh.Coord, ax axis) []*MCC {
+// candidatesAbove appends to dst the components whose forbidden region
+// (along ax) contains u, in ascending order of first-hit distance — the
+// order the paper's "+Y detection ray" would encounter them.
+func (s *Set) candidatesAbove(u mesh.Coord, ax axis, dst []*MCC) []*MCC {
 	var list []*MCC
 	if ax == axisY {
 		list = s.InColumn(u.X)
@@ -147,13 +168,12 @@ func (s *Set) candidatesAbove(u mesh.Coord, ax axis) []*MCC {
 	// The index is ordered by ascending lo at that column/row; components
 	// whose interval starts above u are exactly those with u in their
 	// forbidden region.
-	out := make([]*MCC, 0, len(list))
 	for _, f := range list {
 		if f.inForbidden(ax, u) {
-			out = append(out, f)
+			dst = append(dst, f)
 		}
 	}
-	return out
+	return dst
 }
 
 // successors returns every structurally valid succeeding component of f:
@@ -249,6 +269,39 @@ func (s *Set) FindSequence(u, d mesh.Coord) *Sequence {
 // limits pathological cases; the equivalence tests run far below it.
 const seqCandidateBudget = 256
 
+// seqScratch bundles the reusable buffers of one findAxis invocation: the
+// per-component dead-end and on-chain marks (indexed by MCC ID), the DFS
+// chain, the seed list, and the certification DP grid. Pooled per Set so
+// the routing hot path — which calls FindSequence every hop of a planned
+// leg — allocates nothing at steady state.
+type seqScratch struct {
+	deadEnd []bool
+	onChain []bool
+	chain   []*MCC
+	seeds   []*MCC
+	reach   []bool
+}
+
+// seqScratchFor fetches a scratch sized for this set from the pool. The
+// pool lives on the Set, so concurrent FindSequence callers sharing one
+// snapshot each borrow their own buffers.
+func (s *Set) seqScratchFor() *seqScratch {
+	sc, _ := s.scratch.Get().(*seqScratch)
+	if sc == nil {
+		sc = &seqScratch{}
+	}
+	if len(sc.deadEnd) < len(s.all) {
+		sc.deadEnd = make([]bool, len(s.all))
+		sc.onChain = make([]bool, len(s.all))
+	} else {
+		clear(sc.deadEnd[:len(s.all)])
+		clear(sc.onChain[:len(s.all)])
+	}
+	sc.chain = sc.chain[:0]
+	sc.seeds = sc.seeds[:0]
+	return sc
+}
+
 // findAxis searches for a blocking chain with a depth-first walk over the
 // successor relation in Equation 4 preference order, certifying each
 // structurally complete chain with the monotone DP. Structural dead ends
@@ -256,33 +309,33 @@ const seqCandidateBudget = 256
 // rejections are not memoizable (they depend on the whole chain) and
 // consume the candidate budget instead.
 func (s *Set) findAxis(u, d mesh.Coord, ax axis) *Sequence {
-	seeds := s.candidatesAbove(u, ax)
-	if len(seeds) == 0 {
+	sc := s.seqScratchFor()
+	defer s.scratch.Put(sc)
+	sc.seeds = s.candidatesAbove(u, ax, sc.seeds)
+	if len(sc.seeds) == 0 {
 		return nil
 	}
-	deadEnd := make(map[int]bool) // no structurally complete chain below this component
-	onChain := make(map[int]bool)
 	budget := seqCandidateBudget
-	var chain []*MCC
 	var result *Sequence
 	var dfs func(f *MCC) bool
 	dfs = func(f *MCC) bool {
-		if deadEnd[f.ID] || onChain[f.ID] || budget <= 0 {
+		if sc.deadEnd[f.ID] || sc.onChain[f.ID] || budget <= 0 {
 			return false
 		}
-		chain = append(chain, f)
-		onChain[f.ID] = true
+		sc.chain = append(sc.chain, f)
+		sc.onChain[f.ID] = true
 		defer func() {
-			chain = chain[:len(chain)-1]
-			onChain[f.ID] = false
+			sc.chain = sc.chain[:len(sc.chain)-1]
+			sc.onChain[f.ID] = false
 		}()
 		completed := false
 		if f.inCritical(ax, d) {
 			completed = true
 			budget--
-			cand := Sequence{Chain: append([]*MCC(nil), chain...), TypeII: ax == axisX}
-			if cand.Blocks(u, d) {
-				result = &cand
+			if chainBlocks(u, d, sc.chain, &sc.reach) {
+				// Materialize the Sequence only for the one certified chain;
+				// rejected candidates never leave the scratch.
+				result = &Sequence{Chain: append([]*MCC(nil), sc.chain...), TypeII: ax == axisX}
 				return true
 			}
 		}
@@ -294,17 +347,17 @@ func (s *Set) findAxis(u, d mesh.Coord, ax axis) *Sequence {
 				if dfs(g) {
 					return true
 				}
-				if !deadEnd[g.ID] {
+				if !sc.deadEnd[g.ID] {
 					completed = true // g reached completions; they failed DP
 				}
 			}
 		}
 		if !completed {
-			deadEnd[f.ID] = true
+			sc.deadEnd[f.ID] = true
 		}
 		return false
 	}
-	for _, seed := range seeds {
+	for _, seed := range sc.seeds {
 		if dfs(seed) {
 			return result
 		}

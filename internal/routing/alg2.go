@@ -23,12 +23,13 @@ import (
 // region R(F) of a triple stored at the current node while the leg's
 // destination lies in the matching critical region R'(F).
 
-// candidates returns the admissible forwarding directions at canonical
-// position cu toward canonical leg destination ct, in (+X, +Y) order.
-// An empty result at cu != ct means the leg is blocked (RB1 detours,
-// RB2/RB3 re-plan).
-func (e env) candidates(cu, ct mesh.Coord) []mesh.Direction {
-	var out []mesh.Direction
+// candidates appends to dst the admissible forwarding directions at
+// canonical position cu toward canonical leg destination ct, in (+X, +Y)
+// order. An empty result at cu != ct means the leg is blocked (RB1
+// detours, RB2/RB3 re-plan). Callers pass the walk's two-slot buffer so
+// the per-hop decision allocates nothing.
+func (e env) candidates(cu, ct mesh.Coord, dst []mesh.Direction) []mesh.Direction {
+	out := dst
 	for _, dir := range [2]mesh.Direction{mesh.PlusX, mesh.PlusY} {
 		switch dir {
 		case mesh.PlusX:

@@ -55,6 +55,15 @@ type Analysis struct {
 	grids  [mesh.NumOrients]*labeling.Grid
 	sets   [mesh.NumOrients]*mcc.Set
 	stores [3][mesh.NumOrients]*info.Store
+
+	// Flat obstacle bitsets for the walk hot path, indexed by the node's
+	// original-frame mesh.Index: faultyBits marks faulty nodes (the E-cube
+	// and downgraded-detour wall), unsafeBits[o] marks nodes unsafe in the
+	// canonical frame of orientation o (the MCC-region wall of RB1/RB2/RB3
+	// detours). Built with the same lazy-then-Precompute contract as the
+	// grids.
+	faultyBits []uint64
+	unsafeBits [mesh.NumOrients][]uint64
 }
 
 // NewAnalysis prepares lazy per-orientation analyses of the fault set under
@@ -90,6 +99,38 @@ func (a *Analysis) MCCs(o mesh.Orient) *mcc.Set {
 	return a.sets[o]
 }
 
+// faultyMask returns the flat faulty bitset (original-frame indices),
+// building it on first use.
+func (a *Analysis) faultyMask() []uint64 {
+	if a.faultyBits == nil {
+		bits := make([]uint64, (a.m.Nodes()+63)/64)
+		for idx := 0; idx < a.m.Nodes(); idx++ {
+			if a.faults.Faulty(a.m.CoordOf(idx)) {
+				bits[idx>>6] |= 1 << (uint(idx) & 63)
+			}
+		}
+		a.faultyBits = bits
+	}
+	return a.faultyBits
+}
+
+// unsafeMask returns the flat bitset of nodes (original-frame indices)
+// that are unsafe in the canonical frame of orientation o, building it on
+// first use.
+func (a *Analysis) unsafeMask(o mesh.Orient) []uint64 {
+	if a.unsafeBits[o] == nil {
+		g := a.Grid(o)
+		bits := make([]uint64, (a.m.Nodes()+63)/64)
+		for idx := 0; idx < a.m.Nodes(); idx++ {
+			if g.Unsafe(o.To(a.m, a.m.CoordOf(idx))) {
+				bits[idx>>6] |= 1 << (uint(idx) & 63)
+			}
+		}
+		a.unsafeBits[o] = bits
+	}
+	return a.unsafeBits[o]
+}
+
 // Store returns the information store of the given model for orientation o.
 func (a *Analysis) Store(model info.Model, o mesh.Orient) *info.Store {
 	if a.stores[model][o] == nil {
@@ -106,9 +147,11 @@ func (a *Analysis) Precompute(models ...info.Model) *Analysis {
 	if len(models) == 0 {
 		models = []info.Model{info.B1, info.B2, info.B3}
 	}
+	a.faultyMask()
 	for o := mesh.Orient(0); o < mesh.NumOrients; o++ {
 		a.Grid(o)
 		a.MCCs(o)
+		a.unsafeMask(o)
 		for _, mod := range models {
 			a.Store(mod, o)
 		}

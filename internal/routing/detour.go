@@ -12,10 +12,10 @@ import "repro/internal/mesh"
 // figures' detours, which leave westward along the region's south side),
 // else -Y, +X, +Y.
 //
-// Obstacles are the *faulty* nodes: a detour is already non-minimal, so
-// healthy-but-unsafe nodes are legal to traverse (E-cube semantics); the
-// boundary exclusions of Algorithm 2 are what keep the minimal phases away
-// from MCCs.
+// Obstacles are the nodes of the walk's current wall mask: the *faulty*
+// nodes for E-cube and downgraded walks (a detour is already non-minimal,
+// so healthy-but-unsafe nodes are legal to traverse), the orientation's
+// unsafe region for the information-guided algorithms.
 //
 // Two guards make episodes terminate:
 //
@@ -25,11 +25,13 @@ import "repro/internal/mesh"
 //   - drivers may only leave an episode into a node the episode has not
 //     visited — exiting back into the position that triggered the detour
 //     would re-block immediately and livelock.
+//
+// Episode state (the seen and visited marks) lives in the walk's Scratch
+// as epoch-tagged dense arrays: beginning an episode bumps the epoch
+// instead of allocating the two maps of the pre-scratch design.
 type detour struct {
 	active  bool
 	heading mesh.Direction
-	seen    map[detourState]bool
-	visited map[mesh.Coord]bool
 	// leftHand flips the wall side. The fixed right-hand rule can orbit a
 	// fault cluster in the unproductive direction (the classic orientation
 	// problem of f-ring traversal); the walk flips the side when it detects
@@ -37,28 +39,23 @@ type detour struct {
 	leftHand bool
 }
 
-type detourState struct {
-	pos     mesh.Coord
-	heading mesh.Direction
-}
-
 // begin starts an episode at pos, where progress in direction blocked was
 // obstructed while heading toward dest. The walker turns laterally toward
 // the destination when possible and keeps the wall on the side the blocked
 // direction ended up on — the orientation choice of the f-ring traversal
 // literature, which picks the productive way around the region.
-func (dt *detour) begin(m mesh.Mesh, obstacle func(mesh.Coord) bool, pos mesh.Coord, blocked mesh.Direction, dest mesh.Coord) bool {
+func (dt *detour) begin(w *walk, pos mesh.Coord, blocked mesh.Direction, dest mesh.Coord) bool {
 	start := func(h mesh.Direction) bool {
 		n := pos.Step(h)
-		if !m.In(n) || obstacle(n) {
+		if !w.a.m.In(n) || w.obstacle(n) {
 			return false
 		}
 		dt.active = true
 		dt.heading = h
 		// Wall side: the blocked direction relative to the new heading.
 		dt.leftHand = blocked == h.CCW()
-		dt.seen = map[detourState]bool{}
-		dt.visited = map[mesh.Coord]bool{pos: true}
+		w.sc.nextEpisode()
+		w.sc.markVisited(pos)
 		return true
 	}
 	// Lateral turns, destination-pointing first.
@@ -77,12 +74,10 @@ func (dt *detour) begin(m mesh.Mesh, obstacle func(mesh.Coord) bool, pos mesh.Co
 
 // step advances one wall-following hop. ok=false means the episode cannot
 // continue (full circle walked or walled in).
-func (dt *detour) step(m mesh.Mesh, obstacle func(mesh.Coord) bool, pos mesh.Coord) (mesh.Coord, bool) {
-	st := detourState{pos: pos, heading: dt.heading}
-	if dt.seen[st] {
+func (dt *detour) step(w *walk, pos mesh.Coord) (mesh.Coord, bool) {
+	if w.sc.seenState(pos, dt.heading) {
 		return mesh.Coord{}, false
 	}
-	dt.seen[st] = true
 	// Right-hand rule: wall on the right, so try right, straight, left,
 	// back, in heading-relative order (mirrored when leftHand is set).
 	order := [4]mesh.Direction{dt.heading.CW(), dt.heading, dt.heading.CCW(), dt.heading.Opposite()}
@@ -91,9 +86,9 @@ func (dt *detour) step(m mesh.Mesh, obstacle func(mesh.Coord) bool, pos mesh.Coo
 	}
 	for _, h := range order {
 		n := pos.Step(h)
-		if m.In(n) && !obstacle(n) {
+		if w.a.m.In(n) && !w.obstacle(n) {
 			dt.heading = h
-			dt.visited[n] = true
+			w.sc.markVisited(n)
 			return n, true
 		}
 	}
@@ -102,11 +97,7 @@ func (dt *detour) step(m mesh.Mesh, obstacle func(mesh.Coord) bool, pos mesh.Coo
 
 // fresh reports whether leaving the episode into c avoids re-entering
 // already-walked ground.
-func (dt *detour) fresh(c mesh.Coord) bool { return !dt.visited[c] }
+func (dt *detour) fresh(w *walk, c mesh.Coord) bool { return !w.sc.wasVisited(c) }
 
 // end closes the episode (the wall side persists across episodes).
-func (dt *detour) end() {
-	dt.active = false
-	dt.seen = nil
-	dt.visited = nil
-}
+func (dt *detour) end() { dt.active = false }

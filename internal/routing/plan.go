@@ -36,48 +36,41 @@ import (
 type seqFinder func(e env, cu, cd mesh.Coord) *mcc.Sequence
 
 // planResult carries Equation 2's value and the pivot chain of the chosen
-// option.
+// option (Equation 3 contributes at most two pivots).
 type planResult struct {
-	dist   int
-	pivots []mesh.Coord // canonical-frame intermediate destinations, in order
-	ok     bool
+	dist    int
+	pivots  [2]mesh.Coord // canonical-frame intermediate destinations, in order
+	npivots int
+	ok      bool
 }
 
 // planner memoizes Equation 2 evaluations for one (query, orientation).
-// Cross-orientation recursion spawns sibling planners sharing the depth
-// budget.
+// Cross-orientation recursion spawns nested planners sharing the depth
+// budget. The memo and cycle-guard maps of the pre-scratch design are now
+// the Scratch's index-keyed flat planTables: planner nesting is strictly
+// LIFO, so each nesting level owns one table, and successive planners at
+// a level are separated by the table's generation tag — opening a planner
+// is a counter bump instead of two map allocations.
 type planner struct {
-	a      *Analysis
-	model  info.Model
-	e      env
-	find   seqFinder
-	cd     mesh.Coord
-	memo   map[mesh.Coord]planMemo
-	onPath map[mesh.Coord]bool
-	depth  *int
-}
-
-type planMemo struct {
-	dist int
-	ok   bool
+	a     *Analysis
+	model info.Model
+	e     env
+	find  seqFinder
+	cd    mesh.Coord
+	sc    *Scratch
+	tbl   *planTable
+	gen   uint32
 }
 
 const maxPlanDepth = 64
 
 // newPlanner prepares an Equation 2 evaluation toward canonical
 // destination cd.
-func newPlanner(a *Analysis, model info.Model, e env, find seqFinder, cd mesh.Coord) *planner {
-	depth := 0
-	return &planner{
-		a:      a,
-		model:  model,
-		e:      e,
-		find:   find,
-		cd:     cd,
-		memo:   map[mesh.Coord]planMemo{},
-		onPath: map[mesh.Coord]bool{},
-		depth:  &depth,
-	}
+func newPlanner(a *Analysis, model info.Model, e env, find seqFinder, cd mesh.Coord, sc *Scratch) planner {
+	sc.planDepth = 0
+	sc.planLevel = 0
+	tbl := sc.planTableAt(0)
+	return planner{a: a, model: model, e: e, find: find, cd: cd, sc: sc, tbl: tbl, gen: tbl.gen}
 }
 
 // usable reports whether a corner can serve as an intermediate destination.
@@ -85,13 +78,21 @@ func (p *planner) usable(c mesh.Coord) bool {
 	return p.e.grid.Safe(c)
 }
 
+// memoPut records D(x, cd) in this planner's memo generation.
+func (p *planner) memoPut(i int, d int, ok bool) {
+	p.tbl.memoGen[i] = p.gen
+	p.tbl.dist[i] = int32(d)
+	p.tbl.ok[i] = ok
+}
+
 // dist evaluates D(x, cd) per Equation 2. ok=false means no valid option
 // exists from x (plan failure).
 func (p *planner) dist(x mesh.Coord) (int, bool) {
-	if m, hit := p.memo[x]; hit {
-		return m.dist, m.ok
+	xi := p.sc.index(x)
+	if p.tbl.memoGen[xi] == p.gen {
+		return int(p.tbl.dist[xi]), p.tbl.ok[xi]
 	}
-	if p.onPath[x] || *p.depth > maxPlanDepth {
+	if p.tbl.onPathGen[xi] == p.gen || p.sc.planDepth > maxPlanDepth {
 		return 0, false // cycle or runaway recursion: invalid option
 	}
 	if !x.DominatedBy(p.cd) {
@@ -101,71 +102,75 @@ func (p *planner) dist(x mesh.Coord) (int, bool) {
 		ox := p.e.orient.From(p.a.m, x)
 		od := p.e.orient.From(p.a.m, p.cd)
 		e2 := p.a.envFor(ox, od, p.model, true)
-		p2 := &planner{
+		p.sc.planLevel++
+		tbl := p.sc.planTableAt(p.sc.planLevel)
+		p2 := planner{
 			a: p.a, model: p.model, e: e2, find: p.find,
-			cd:     e2.orient.To(p.a.m, od),
-			memo:   map[mesh.Coord]planMemo{},
-			onPath: map[mesh.Coord]bool{},
-			depth:  p.depth,
+			cd: e2.orient.To(p.a.m, od),
+			sc: p.sc, tbl: tbl, gen: tbl.gen,
 		}
-		*p.depth++
+		p.sc.planDepth++
 		d, ok := p2.dist(e2.orient.To(p.a.m, ox))
-		*p.depth--
-		p.memo[x] = planMemo{dist: d, ok: ok}
+		p.sc.planDepth--
+		p.sc.planLevel--
+		p.memoPut(xi, d, ok)
 		return d, ok
 	}
 	seq := p.find(p.e, x, p.cd)
 	if seq == nil {
 		return x.Manhattan(p.cd), true
 	}
-	p.onPath[x] = true
-	*p.depth++
-	d, _, ok := p.options(x, seq)
-	*p.depth--
-	delete(p.onPath, x)
-	p.memo[x] = planMemo{dist: d, ok: ok}
+	p.tbl.onPathGen[xi] = p.gen
+	p.sc.planDepth++
+	d, _, _, ok := p.options(x, seq)
+	p.sc.planDepth--
+	p.tbl.onPathGen[xi] = 0 // clear the cycle mark (generations start at 1)
+	p.memoPut(xi, d, ok)
 	return d, ok
 }
 
 // options evaluates Equation 3 for the sequence blocking x and returns the
-// best distance with its pivot chain.
-func (p *planner) options(x mesh.Coord, seq *mcc.Sequence) (best int, pivots []mesh.Coord, ok bool) {
-	first, middles, last := seq.Corners()
-	consider := func(cost int, pv ...mesh.Coord) {
+// best distance with its pivot chain (at most two pivots).
+func (p *planner) options(x mesh.Coord, seq *mcc.Sequence) (best int, pivots [2]mesh.Coord, npivots int, ok bool) {
+	// The corner walk of Sequence.Corners, iterated in place: the slice it
+	// materializes per call was a top allocation of the planned hot path.
+	chain := seq.Chain
+	first, last := chain[0].Corner(), chain[len(chain)-1].Opposite()
+	consider := func(cost int, pv0, pv1 mesh.Coord, n int) {
 		if !ok || cost < best {
-			best, pivots, ok = cost, append([]mesh.Coord(nil), pv...), true
+			best, pivots[0], pivots[1], npivots, ok = cost, pv0, pv1, n, true
 		}
 	}
 	// P_0: around the first component's initialization corner.
 	if p.usable(first) {
 		if rest, rok := p.dist(first); rok {
-			consider(x.Manhattan(first)+rest, first)
+			consider(x.Manhattan(first)+rest, first, mesh.Coord{}, 1)
 		}
 	}
-	// P_i: squeeze between consecutive components.
-	for _, mid := range middles {
-		ci, cnext := mid[0], mid[1]
+	// P_i: squeeze between consecutive components — (c'_i, c_{i+1}) pairs.
+	for i := 0; i+1 < len(chain); i++ {
+		ci, cnext := chain[i].Opposite(), chain[i+1].Corner()
 		if !p.usable(ci) || !p.usable(cnext) {
 			continue
 		}
 		if rest, rok := p.dist(cnext); rok {
-			consider(x.Manhattan(ci)+ci.Manhattan(cnext)+rest, ci, cnext)
+			consider(x.Manhattan(ci)+ci.Manhattan(cnext)+rest, ci, cnext, 2)
 		}
 	}
 	// P_n: around the last component's opposite corner.
 	if p.usable(last) {
 		if rest, rok := p.dist(last); rok {
-			consider(x.Manhattan(last)+rest, last)
+			consider(x.Manhattan(last)+rest, last, mesh.Coord{}, 1)
 		}
 	}
-	return best, pivots, ok
+	return best, pivots, npivots, ok
 }
 
 // plan runs Equations 2/3 from canonical position cu against an
 // already-identified blocking sequence.
 func (p *planner) plan(cu mesh.Coord, seq *mcc.Sequence) planResult {
-	d, pivots, ok := p.options(cu, seq)
-	return planResult{dist: d, pivots: pivots, ok: ok}
+	d, pivots, n, ok := p.options(cu, seq)
+	return planResult{dist: d, pivots: pivots, npivots: n, ok: ok}
 }
 
 // findSequenceFull is RB2's finder: under model B2 every node inside a

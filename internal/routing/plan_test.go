@@ -29,12 +29,12 @@ func TestPlannerSingleComponentOptions(t *testing.T) {
 	if seq == nil {
 		t.Fatal("no sequence for the straight-through pair")
 	}
-	pl := newPlanner(a, info.B2, e, findSequenceFull, d)
+	pl := newPlanner(a, info.B2, e, findSequenceFull, d, NewScratch(a.Mesh()))
 	plan := pl.plan(u, seq)
 	if !plan.ok || plan.dist != 7 {
 		t.Fatalf("plan dist=%d ok=%v, want 7", plan.dist, plan.ok)
 	}
-	if len(plan.pivots) != 1 {
+	if plan.npivots != 1 {
 		t.Fatalf("pivots = %v", plan.pivots)
 	}
 	// The BFS oracle agrees.
@@ -55,7 +55,7 @@ func TestPlannerChainSqueeze(t *testing.T) {
 	if seq == nil || len(seq.Chain) != 2 {
 		t.Fatalf("sequence = %+v", seq)
 	}
-	pl := newPlanner(a, info.B2, e, findSequenceFull, d)
+	pl := newPlanner(a, info.B2, e, findSequenceFull, d, NewScratch(a.Mesh()))
 	plan := pl.plan(u, seq)
 	if !plan.ok {
 		t.Fatal("plan failed")
@@ -78,7 +78,7 @@ func TestPlannerRecursiveMultiphase(t *testing.T) {
 	if seq == nil {
 		t.Fatal("no sequence")
 	}
-	pl := newPlanner(a, info.B2, e, findSequenceFull, d)
+	pl := newPlanner(a, info.B2, e, findSequenceFull, d, NewScratch(a.Mesh()))
 	plan := pl.plan(u, seq)
 	if !plan.ok {
 		t.Fatal("plan failed")
@@ -141,7 +141,7 @@ func TestPlannerUnusableCornersFallback(t *testing.T) {
 	if seq == nil {
 		t.Fatal("no sequence for border wall")
 	}
-	pl := newPlanner(a, info.B2, e, findSequenceFull, db)
+	pl := newPlanner(a, info.B2, e, findSequenceFull, db, NewScratch(a.Mesh()))
 	plan := pl.plan(ub, seq)
 	if !plan.ok {
 		t.Fatal("plan must survive an unusable corner")

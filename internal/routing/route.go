@@ -66,6 +66,13 @@ type Options struct {
 	// pulling context into the hot path: the poll granularity keeps the
 	// per-hop cost at one counter decrement.
 	Stop func() error
+	// Scratch supplies the reusable walk buffers. When set, Route
+	// allocates nothing at steady state, and Result.Path aliases the
+	// scratch's path buffer — valid only until the scratch's next use.
+	// When nil, Route borrows a pooled scratch and returns a detached
+	// path. A Scratch serves one walk at a time; concurrent callers need
+	// one each.
+	Scratch *Scratch
 }
 
 // AbortCanceled is the Result.Abort prefix of walks stopped by
@@ -88,7 +95,8 @@ func (o Options) maxHops(m mesh.Mesh) int {
 // Result reports one simulated routing.
 type Result struct {
 	// Path holds every visited node, s first; Path[len-1] == d iff
-	// Delivered.
+	// Delivered. With Options.Scratch set it aliases the scratch's buffer
+	// (see Options.Scratch).
 	Path []mesh.Coord
 	// Delivered reports whether the walk reached the destination.
 	Delivered bool
@@ -98,6 +106,13 @@ type Result struct {
 	Phases int
 	// DetourHops counts hops taken in wall-following detour mode.
 	DetourHops int
+	// WallFlips counts orbit-livelock recoveries: flips of the detour wall
+	// side forced by revisiting the same node flipVisits times.
+	WallFlips int
+	// Downgraded reports that the detour wall was downgraded from the
+	// MCC-region wall to the physical (faulty-only) wall — the escape for
+	// safe nodes enclosed by unsafe neighbors of mixed kinds.
+	Downgraded bool
 	// Abort describes why an undelivered walk stopped.
 	Abort string
 }
@@ -110,29 +125,55 @@ func Route(a *Analysis, algo Algo, s, d mesh.Coord, opt Options) Result {
 	if a.faults.Faulty(s) || a.faults.Faulty(d) {
 		return Result{Abort: "faulty endpoint"}
 	}
+	sc := opt.Scratch
+	borrowed := sc == nil
+	if borrowed {
+		sc = scratchPool.Get().(*Scratch)
+		opt.Scratch = sc
+	}
+	sc.ensure(a.m)
+	var res Result
 	switch algo {
 	case Ecube:
-		return a.routeEcube(s, d, opt)
+		res = a.routeEcube(s, d, opt)
 	case RB1:
-		return a.routeRB1(s, d, opt)
+		res = a.routeRB1(s, d, opt)
 	case RB2:
-		return a.routePlanned(s, d, opt, info.B2, findSequenceFull)
+		res = a.routePlanned(s, d, opt, info.B2, findSequenceFull)
 	case RB3:
-		return a.routePlanned(s, d, opt, info.B3, findSequenceB3)
+		res = a.routePlanned(s, d, opt, info.B3, findSequenceB3)
+	default:
+		if borrowed {
+			scratchPool.Put(sc)
+		}
+		return Result{Abort: "unknown algorithm"}
 	}
-	return Result{Abort: "unknown algorithm"}
+	// Keep the (possibly grown) arrival log as the scratch's path buffer
+	// for the next walk.
+	sc.path = res.Path
+	if borrowed {
+		res.Path = append([]mesh.Coord(nil), res.Path...)
+		scratchPool.Put(sc)
+	}
+	return res
 }
 
-// walk carries the shared per-simulation state of the drivers.
+// walk carries the shared per-simulation state of the drivers. It lives
+// inside the Scratch, so starting a walk allocates nothing.
 type walk struct {
-	a          *Analysis
-	res        Result
-	u          mesh.Coord
-	d          mesh.Coord
-	dt         detour
-	obstacle   func(mesh.Coord) bool
-	visitCount map[mesh.Coord]int
-	stuck      bool
+	a   *Analysis
+	sc  *Scratch
+	res Result
+	u   mesh.Coord
+	d   mesh.Coord
+	dt  detour
+	// wallMask is the current detour-wall bitset (original-frame node
+	// indices): the analysis' faulty mask for E-cube and downgraded
+	// walks, the per-orientation unsafe mask otherwise. Swapping the wall
+	// is a pointer assignment — the closures of the pre-scratch design
+	// allocated per leg.
+	wallMask []uint64
+	stuck    bool
 	// downgraded pins the detour wall to faulty-only: a safe node can be
 	// enclosed by unsafe neighbors of mixed kinds, and the MCC-region wall
 	// must then be abandoned for the physical one.
@@ -142,6 +183,14 @@ type walk struct {
 	// an already-expired deadline aborts before any hop).
 	stop   func() error
 	stopIn int
+	// candBuf backs the Algorithm 2 candidate slice (at most +X and +Y).
+	candBuf [2]mesh.Direction
+}
+
+// obstacle reports whether in-mesh node c lies on the current detour wall.
+func (w *walk) obstacle(c mesh.Coord) bool {
+	idx := w.sc.index(c)
+	return w.wallMask[idx>>6]&(1<<(uint(idx)&63)) != 0
 }
 
 // Revisit thresholds: flipping the wall side on the 4th visit to the same
@@ -153,25 +202,30 @@ const (
 )
 
 func (a *Analysis) newWalk(s, d mesh.Coord, opt Options) *walk {
-	return &walk{
-		a:          a,
-		res:        Result{Path: []mesh.Coord{s}},
-		u:          s,
-		d:          d,
-		obstacle:   func(c mesh.Coord) bool { return a.faults.Faulty(c) },
-		visitCount: map[mesh.Coord]int{s: 1},
-		stop:       opt.Stop,
+	sc := opt.Scratch
+	sc.nextWalk()
+	w := &sc.w
+	*w = walk{
+		a:        a,
+		sc:       sc,
+		res:      Result{Path: append(sc.path[:0], s)},
+		u:        s,
+		d:        d,
+		wallMask: a.faultyMask(),
+		stop:     opt.Stop,
 	}
+	sc.bumpVisit(s)
+	return w
 }
 
 // arrive records the hop target and runs livelock detection.
 func (w *walk) arrive(n mesh.Coord) {
 	w.u = n
 	w.res.Path = append(w.res.Path, n)
-	w.visitCount[n]++
-	switch c := w.visitCount[n]; {
+	switch c := w.sc.bumpVisit(n); {
 	case c == flipVisits:
 		w.dt.leftHand = !w.dt.leftHand
+		w.res.WallFlips++
 		if w.dt.active {
 			w.dt.end()
 		}
@@ -193,19 +247,19 @@ func (w *walk) move(n mesh.Coord) {
 // the walk must abort.
 func (w *walk) detourMove(haveNormal bool, normal mesh.Coord, blocked mesh.Direction) bool {
 	if !w.dt.active {
-		if !w.dt.begin(w.a.m, w.obstacle, w.u, blocked, w.d) {
-			if !w.downgrade() || !w.dt.begin(w.a.m, w.obstacle, w.u, blocked, w.d) {
+		if !w.dt.begin(w, w.u, blocked, w.d) {
+			if !w.downgrade() || !w.dt.begin(w, w.u, blocked, w.d) {
 				w.res.Abort = "walled in"
 				return false
 			}
 		}
 	}
-	next, ok := w.dt.step(w.a.m, w.obstacle, w.u)
+	next, ok := w.dt.step(w, w.u)
 	if !ok && !haveNormal && w.downgrade() {
 		// Retry the episode against the physical wall before giving up.
 		w.dt.end()
-		if w.dt.begin(w.a.m, w.obstacle, w.u, blocked, w.d) {
-			next, ok = w.dt.step(w.a.m, w.obstacle, w.u)
+		if w.dt.begin(w, w.u, blocked, w.d) {
+			next, ok = w.dt.step(w, w.u)
 		}
 	}
 	if !ok {
@@ -228,7 +282,8 @@ func (w *walk) downgrade() bool {
 		return false
 	}
 	w.downgraded = true
-	w.obstacle = func(c mesh.Coord) bool { return w.a.faults.Faulty(c) }
+	w.res.Downgraded = true
+	w.wallMask = w.a.faultyMask()
 	return true
 }
 
@@ -236,7 +291,7 @@ func (w *walk) downgrade() bool {
 // not re-enter the active episode's walked ground, a wall-following hop
 // otherwise.
 func (w *walk) stepOrDetour(haveNormal bool, normal mesh.Coord, blocked mesh.Direction) bool {
-	if haveNormal && (!w.dt.active || w.dt.fresh(normal)) {
+	if haveNormal && (!w.dt.active || w.dt.fresh(w, normal)) {
 		w.move(normal)
 		return true
 	}
@@ -275,11 +330,11 @@ func (w *walk) done(maxHops int) bool {
 	return w.stuck || len(w.res.Path) > maxHops
 }
 
-// unsafeObstacle treats the unsafe region of the leg's orientation as the
-// detour wall; faulty cells are unsafe in every orientation, so this is a
+// useUnsafeWall points the detour wall at the unsafe region of the leg's
+// orientation; faulty cells are unsafe in every orientation, so this is a
 // superset of the E-cube wall.
-func unsafeObstacle(a *Analysis, e env) func(mesh.Coord) bool {
-	return func(c mesh.Coord) bool { return e.grid.Unsafe(e.orient.To(a.m, c)) }
+func (w *walk) useUnsafeWall(e env) {
+	w.wallMask = w.a.unsafeMask(e.orient)
 }
 
 // progressDir returns the blocked progress direction in original
@@ -336,7 +391,7 @@ func (a *Analysis) routeRB1(s, d mesh.Coord, opt Options) Result {
 		}
 		e := a.envFor(w.u, d, info.B1, true)
 		cu, cd := e.orient.To(a.m, w.u), e.orient.To(a.m, d)
-		cands := e.candidates(cu, cd)
+		cands := e.candidates(cu, cd, w.candBuf[:0])
 		var normal mesh.Coord
 		if len(cands) > 0 {
 			dir := e.orient.DirTo(opt.Policy.choose(cands, cu, cd, opt.Rng))
@@ -347,7 +402,7 @@ func (a *Analysis) routeRB1(s, d mesh.Coord, opt Options) Result {
 		// otherwise the walker orbits inside useless pockets that the
 		// candidate rule refuses to re-enter.
 		if !w.downgraded {
-			w.obstacle = unsafeObstacle(w.a, e)
+			w.useUnsafeWall(e)
 		}
 		if !w.stepOrDetour(len(cands) > 0, normal, w.progressDir(cu, cd, e)) {
 			return w.res
@@ -362,20 +417,24 @@ func (a *Analysis) routeRB1(s, d mesh.Coord, opt Options) Result {
 // and repeat from there.
 func (a *Analysis) routePlanned(s, d mesh.Coord, opt Options, model info.Model, find seqFinder) Result {
 	w := a.newWalk(s, d, opt)
-	var pending []mesh.Coord // pivots ahead, original coordinates
+	// pending holds the pivots ahead in original coordinates; Equation 3
+	// options contribute at most two pivots per plan.
+	var pending [2]mesh.Coord
+	npend := 0
 	replans := 0
 	for !w.done(opt.maxHops(a.m)) {
 		if w.u == d {
 			return w.finish()
 		}
 		// Pop reached pivots.
-		for len(pending) > 0 && w.u == pending[0] {
-			pending = pending[1:]
+		for npend > 0 && w.u == pending[0] {
+			pending[0] = pending[1]
+			npend--
 			w.res.Phases++
 			replans = 0
 		}
 		target := d
-		if len(pending) > 0 {
+		if npend > 0 {
 			target = pending[0]
 		}
 		e := a.envFor(w.u, target, model, true)
@@ -385,14 +444,14 @@ func (a *Analysis) routePlanned(s, d mesh.Coord, opt Options, model info.Model, 
 		// (it resets on every actual movement).
 		if target == d && replans < 4 {
 			if seq := find(e, cu, ct); seq != nil {
-				pl := newPlanner(a, model, e, find, ct)
+				pl := newPlanner(a, model, e, find, ct, opt.Scratch)
 				if plan := pl.plan(cu, seq); plan.ok {
 					replans++
-					pending = pending[:0]
-					for _, p := range plan.pivots {
-						pending = append(pending, e.orient.From(a.m, p))
+					npend = plan.npivots
+					for i := 0; i < npend; i++ {
+						pending[i] = e.orient.From(a.m, plan.pivots[i])
 					}
-					if len(pending) > 0 {
+					if npend > 0 {
 						target = pending[0]
 						e = a.envFor(w.u, target, model, true)
 						cu, ct = e.orient.To(a.m, w.u), e.orient.To(a.m, target)
@@ -402,10 +461,10 @@ func (a *Analysis) routePlanned(s, d mesh.Coord, opt Options, model info.Model, 
 				// the detour walker still make progress.
 			}
 		}
-		cands := e.candidates(cu, ct)
-		if len(cands) == 0 && len(pending) > 0 {
+		cands := e.candidates(cu, ct, w.candBuf[:0])
+		if len(cands) == 0 && npend > 0 {
 			// Pivot leg blocked mid-way: drop the plan, re-plan from here.
-			pending = pending[:0]
+			npend = 0
 			continue
 		}
 		var normal mesh.Coord
@@ -414,7 +473,7 @@ func (a *Analysis) routePlanned(s, d mesh.Coord, opt Options, model info.Model, 
 			normal = w.u.Step(dir)
 		}
 		if !w.downgraded {
-			w.obstacle = unsafeObstacle(w.a, e)
+			w.useUnsafeWall(e)
 		}
 		moved := w.u
 		if !w.stepOrDetour(len(cands) > 0, normal, w.progressDir(cu, ct, e)) {

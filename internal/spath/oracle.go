@@ -1,0 +1,122 @@
+package spath
+
+import (
+	"sync"
+
+	"repro/internal/fault"
+	"repro/internal/mesh"
+)
+
+// DefaultOracleBound is the per-source distance-field cap an Oracle uses
+// when constructed with bound <= 0. At the paper's 100x100 scale one field
+// is ~40KB, so the default bounds the cache near 10MB.
+const DefaultOracleBound = 256
+
+// Oracle is a concurrent-safe, lazily-built, bounded cache of per-source
+// BFS distance fields over one frozen fault configuration. It amortizes
+// the O(nodes) BFS of Distance across queries that share an endpoint —
+// batch traffic from a few hot sources, the evaluation's repeated
+// per-trial pairs, and the facade's oracle reports all hit the same
+// fields.
+//
+// The fault set must not change underneath the oracle; internal/engine
+// hangs one Oracle off each immutable Snapshot, so a committed fault
+// transaction invalidates the cache for free by snapshot replacement.
+//
+// Concurrency: the source index is guarded by a mutex, but fields fill
+// outside it through a per-source once (singleflight) — concurrent
+// readers of one source wait for a single BFS instead of duplicating it,
+// and readers of different sources fill in parallel.
+type Oracle struct {
+	f     *fault.Set
+	bound int
+
+	mu     sync.Mutex
+	fields map[int]*oracleField // keyed by source mesh.Index
+	order  []int                // insertion order for FIFO eviction
+}
+
+type oracleField struct {
+	once sync.Once
+	bfs  *BFS
+}
+
+// NewOracle returns an empty oracle over f, caching at most bound
+// per-source fields (bound <= 0 means DefaultOracleBound). The caller
+// must stop mutating f.
+func NewOracle(f *fault.Set, bound int) *Oracle {
+	if bound <= 0 {
+		bound = DefaultOracleBound
+	}
+	return &Oracle{f: f, bound: bound, fields: make(map[int]*oracleField)}
+}
+
+// Faults returns the frozen fault configuration the oracle answers for.
+func (o *Oracle) Faults() *fault.Set { return o.f }
+
+// Len returns the number of cached distance fields.
+func (o *Oracle) Len() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return len(o.fields)
+}
+
+// entryLocked returns the cache entry for node index idx, creating and
+// FIFO-evicting as needed. Callers hold o.mu.
+func (o *Oracle) entryLocked(idx int) *oracleField {
+	if e, ok := o.fields[idx]; ok {
+		return e
+	}
+	if len(o.fields) >= o.bound {
+		// FIFO eviction: drop the oldest source. Readers holding the
+		// evicted *BFS keep a valid pointer; only the cache forgets it.
+		oldest := o.order[0]
+		o.order = o.order[1:]
+		delete(o.fields, oldest)
+	}
+	e := &oracleField{}
+	o.fields[idx] = e
+	o.order = append(o.order, idx)
+	return e
+}
+
+// fill completes an entry's BFS from src at most once per cache
+// residency (outside the index lock: concurrent readers of one source
+// wait on the once, not on the oracle).
+func (o *Oracle) fill(e *oracleField, src mesh.Coord) *BFS {
+	e.once.Do(func() { e.bfs = NewBFS(o.f, src) })
+	return e.bfs
+}
+
+// Field returns the filled BFS distance field from src, computing it at
+// most once per cache residency.
+func (o *Oracle) Field(src mesh.Coord) *BFS {
+	idx := o.f.Mesh().Index(src)
+	o.mu.Lock()
+	e := o.entryLocked(idx)
+	o.mu.Unlock()
+	return o.fill(e, src)
+}
+
+// Dist returns D(s, d) like Distance, served from the cache. The mesh is
+// undirected, so a field rooted at either endpoint answers; an existing
+// field for d is preferred over computing one for s. One index-lock
+// acquisition covers both the d-peek and the s-create.
+func (o *Oracle) Dist(s, d mesh.Coord) int32 {
+	m := o.f.Mesh()
+	if !m.In(s) || !m.In(d) {
+		return Infinite
+	}
+	o.mu.Lock()
+	if e, ok := o.fields[m.Index(d)]; ok {
+		o.mu.Unlock()
+		return o.fill(e, d).Dist(s)
+	}
+	e := o.entryLocked(m.Index(s))
+	o.mu.Unlock()
+	return o.fill(e, s).Dist(d)
+}
+
+// Reachable reports whether d can be reached from s, served from the
+// cache.
+func (o *Oracle) Reachable(s, d mesh.Coord) bool { return o.Dist(s, d) < Infinite }

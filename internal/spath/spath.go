@@ -16,6 +16,8 @@
 package spath
 
 import (
+	"sync"
+
 	"repro/internal/fault"
 	"repro/internal/mesh"
 )
@@ -83,14 +85,22 @@ func Distance(f *fault.Set, s, d mesh.Coord) int32 {
 	return NewBFS(f, s).Dist(d)
 }
 
+// mrRows pools the single-row DP buffers of ManhattanReachable so the
+// per-query O(w*h) grid allocation of the original implementation is gone.
+var mrRows = sync.Pool{New: func() any { return new([]bool) }}
+
 // ManhattanReachable reports whether a path of length exactly M(s,d)
 // — moving only toward the destination in both dimensions — exists from s
 // to d over non-faulty nodes. This is the paper's feasibility condition:
 // the routing of Algorithm 2 succeeds iff such a path exists.
 //
-// The decision is a dynamic program over the s–d bounding rectangle in the
-// travel orientation: a cell is reachable if it is not faulty and one of
-// its predecessor cells (toward s) is reachable.
+// The decision is a dynamic program over the s–d bounding rectangle: a
+// cell is reachable if it is not faulty and one of its predecessor cells
+// (toward s) is reachable. The DP needs only the current row, so it runs
+// in a pooled O(w) buffer; the orientation transform is hoisted out of
+// the per-cell loop into two step signs (the mirrors are affine), and an
+// all-blocked row short-circuits the sweep — the original allocated a
+// w*h grid and called Orient.From per cell.
 func ManhattanReachable(f *fault.Set, s, d mesh.Coord) bool {
 	m := f.Mesh()
 	if !m.In(s) || !m.In(d) || f.Faulty(s) || f.Faulty(d) {
@@ -99,32 +109,47 @@ func ManhattanReachable(f *fault.Set, s, d mesh.Coord) bool {
 	if s == d {
 		return true
 	}
-	o := mesh.OrientFor(s, d)
-	cs, cd := o.To(m, s), o.To(m, d)
-	// In canonical frame, cs is dominated by cd; DP over [cs..cd].
-	w := cd.X - cs.X + 1
-	h := cd.Y - cs.Y + 1
-	reach := make([]bool, w*h)
-	at := func(x, y int) int { return y*w + x }
+	// Walk the original-frame rectangle from s toward d; the orientation
+	// mirrors reduce to coordinate step signs.
+	sx, sy := 1, 1
+	if d.X < s.X {
+		sx = -1
+	}
+	if d.Y < s.Y {
+		sy = -1
+	}
+	w := sx*(d.X-s.X) + 1
+	h := sy*(d.Y-s.Y) + 1
+	rowp := mrRows.Get().(*[]bool)
+	defer mrRows.Put(rowp)
+	if cap(*rowp) < w {
+		*rowp = make([]bool, w)
+	}
+	row := (*rowp)[:w]
 	for y := 0; y < h; y++ {
+		cy := s.Y + sy*y
+		any := false
 		for x := 0; x < w; x++ {
-			orig := o.From(m, mesh.C(cs.X+x, cs.Y+y))
-			if f.Faulty(orig) {
-				continue
+			v := !f.Faulty(mesh.C(s.X+sx*x, cy))
+			if v {
+				switch {
+				case x == 0 && y == 0: // s itself, known non-faulty
+				case x == 0:
+					v = row[0]
+				case y == 0:
+					v = row[x-1]
+				default:
+					v = row[x] || row[x-1]
+				}
 			}
-			switch {
-			case x == 0 && y == 0:
-				reach[at(x, y)] = true
-			case x == 0:
-				reach[at(x, y)] = reach[at(x, y-1)]
-			case y == 0:
-				reach[at(x, y)] = reach[at(x-1, y)]
-			default:
-				reach[at(x, y)] = reach[at(x-1, y)] || reach[at(x, y-1)]
-			}
+			row[x] = v
+			any = any || v
+		}
+		if !any {
+			return false // a fully blocked row cuts every monotone path
 		}
 	}
-	return reach[at(w-1, h-1)]
+	return row[w-1]
 }
 
 // PathValid checks that path is a legal route over non-faulty nodes from s

@@ -196,11 +196,14 @@ func (n *Network) Route(ctx context.Context, req RouteRequest, opts ...RouteOpti
 
 // finishResponse classifies a raw engine result into the v1 response and
 // error taxonomy, running the BFS oracle when enabled. Shared by Route and
-// the batch item mapper; everything reads the one pinned snapshot.
+// the batch item mapper; everything reads the one pinned snapshot. Oracle
+// distances come from the snapshot's spath.Oracle cache, so requests that
+// share an endpoint (repeated sources in a batch, hot destinations) reuse
+// one BFS field instead of recomputing an O(nodes) search per pair.
 func finishResponse(snap *engine.Snapshot, cfg routeConfig, s, d Coord, res engine.Result) (RouteResponse, error) {
 	optimal := int32(-1)
 	if cfg.oracle {
-		optimal = spath.Distance(snap.Faults(), s, d)
+		optimal = snap.Oracle().Dist(s, d)
 		if optimal >= spath.Infinite {
 			return RouteResponse{}, fmt.Errorf("meshroute: %v unreachable from %v: %w", d, s, ErrUnreachable)
 		}

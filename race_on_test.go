@@ -1,0 +1,5 @@
+//go:build race
+
+package meshroute
+
+const raceEnabled = true
