@@ -3,11 +3,11 @@
 GO ?= go
 # Machine-readable benchmark output (see bench-json).
 BENCH_JSON ?= BENCH_routing.json
-BENCH_PATTERN ?= BenchmarkRoute|BenchmarkOracle|BenchmarkDistance|BenchmarkManhattan
-# Benchmarked packages: the facade's routing/engine benchmarks plus the
+BENCH_PATTERN ?= BenchmarkRoute|BenchmarkOracle|BenchmarkDistance|BenchmarkManhattan|BenchmarkServe
+# Benchmarked packages: the facade's routing/engine benchmarks, the
 # spath oracle benchmarks (ManhattanReachable and the cached-vs-per-pair
-# BFS comparison).
-BENCH_PKGS ?= . ./internal/spath
+# BFS comparison), and the HTTP serving-path benchmarks.
+BENCH_PKGS ?= . ./internal/spath ./internal/server
 # Explicit iteration count: "50x" runs every matched benchmark exactly 50
 # times in one invocation instead of go test's time-based calibration,
 # which re-ran each benchmark function (and its fixture setup) several
@@ -19,7 +19,7 @@ BENCH_TIME ?= 50x
 # benchstat baseline ref for bench-compare.
 BENCH_BASE ?= origin/main
 
-.PHONY: all build vet fmt-check staticcheck test race bench-smoke bench-json bench-compare check
+.PHONY: all build vet fmt-check staticcheck test test-examples race bench-smoke bench-json bench-compare serve loadgen smoke check
 
 all: check
 
@@ -47,6 +47,11 @@ staticcheck:
 
 test:
 	$(GO) test ./...
+
+# Gate that every godoc Example builds and its Output matches — the API
+# reference's runnable examples are tests, not prose.
+test-examples:
+	$(GO) test -run Example ./...
 
 # The race target runs the full suite (including the engine's concurrent
 # Route-during-Swap tests, the batch-cancellation tests, and the RB2-vs-BFS
@@ -86,4 +91,33 @@ bench-compare:
 	fi; \
 	rm -rf $$tmp; exit $$status
 
-check: fmt-check vet build staticcheck test race bench-smoke
+# Run the serving daemon locally (see cmd/meshd/README.md for the curl
+# session; override flags with SERVE_FLAGS).
+SERVE_FLAGS ?= -addr 127.0.0.1:8080
+serve:
+	$(GO) run ./cmd/meshd $(SERVE_FLAGS)
+
+# Drive a running meshd with the load generator (LOADGEN_FLAGS to tune).
+LOADGEN_FLAGS ?= -addr 127.0.0.1:8080 -n 64 -faults 400 -requests 2000 -workers 16 -churn 50ms
+loadgen:
+	$(GO) run ./cmd/meshload $(LOADGEN_FLAGS)
+
+# End-to-end serving smoke (CI gate): boot meshd on an ephemeral port,
+# run a meshload pass (1 mesh, 500 requests, fault transactions churning
+# mid-run), then SIGTERM the daemon to exercise the graceful drain.
+# meshload exits non-zero if any response leaks outside the documented
+# error taxonomy (5xx, transport errors, undecodable bodies).
+smoke:
+	@set -e; tmp=$$(mktemp -d); status=1; \
+	$(GO) build -o $$tmp/meshd ./cmd/meshd; \
+	$(GO) build -o $$tmp/meshload ./cmd/meshload; \
+	$$tmp/meshd -addr 127.0.0.1:0 -addr-file $$tmp/addr -drain 5s & pid=$$!; \
+	for i in $$(seq 1 100); do [ -s $$tmp/addr ] && break; sleep 0.1; done; \
+	if [ -s $$tmp/addr ]; then \
+		if $$tmp/meshload -addr $$(cat $$tmp/addr) -n 32 -faults 80 \
+			-requests 500 -workers 8 -churn 25ms; then status=0; fi; \
+	else echo "meshd did not start"; fi; \
+	kill -TERM $$pid 2>/dev/null || true; wait $$pid || status=1; \
+	rm -rf $$tmp; exit $$status
+
+check: fmt-check vet build staticcheck test test-examples race bench-smoke

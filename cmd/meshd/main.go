@@ -1,0 +1,103 @@
+// Command meshd serves the meshroute engine over HTTP: a multi-mesh
+// registry with shortest-path route serving, streaming NDJSON batches,
+// atomic fault transactions, and serving metrics. See internal/server for
+// the wire protocol and cmd/meshd/README.md for a curl walkthrough.
+//
+// Usage:
+//
+//	meshd [-addr 127.0.0.1:8080] [-addr-file path] [-drain 10s] \
+//	      [-max-nodes N] [-max-meshes N] [-max-batch-pairs N] \
+//	      [-oracle-bound N]
+//
+// On SIGINT/SIGTERM the daemon drains gracefully: the listener stops
+// accepting, /healthz flips to 503, and in-flight requests get the drain
+// grace period to finish; batches still streaming when it expires are
+// aborted via context cause and terminate their NDJSON streams with a
+// CANCELED stream_error line.
+package main
+
+import (
+	"context"
+	"errors"
+	"expvar"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port)")
+	addrFile := flag.String("addr-file", "", "write the bound address to this file once listening (for scripts driving -addr :0)")
+	drain := flag.Duration("drain", 10*time.Second, "grace period for in-flight requests on shutdown before batches are aborted")
+	maxNodes := flag.Int("max-nodes", server.DefaultMaxNodes, "per-mesh node cap (width*height)")
+	maxMeshes := flag.Int("max-meshes", server.DefaultMaxMeshes, "registry size cap")
+	maxBatchPairs := flag.Int("max-batch-pairs", server.DefaultMaxBatchPairs, "per-request batch pair cap")
+	oracleBound := flag.Int("oracle-bound", 0, "cached BFS distance fields per snapshot (0 = engine default)")
+	flag.Parse()
+
+	srv := server.New(server.Config{
+		MaxNodes:      *maxNodes,
+		MaxMeshes:     *maxMeshes,
+		MaxBatchPairs: *maxBatchPairs,
+		OracleBound:   *oracleBound,
+	})
+
+	mux := http.NewServeMux()
+	mux.Handle("/", srv.Handler())
+	// Standard expvar (memstats, cmdline) plus the server's own counters
+	// under "meshd" — `curl /debug/vars | jq .meshd` mirrors /varz.
+	expvar.Publish("meshd", expvar.Func(func() any { return srv.Varz() }))
+	mux.Handle("GET /debug/vars", expvar.Handler())
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("meshd: listen %s: %v", *addr, err)
+	}
+	bound := ln.Addr().String()
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(bound+"\n"), 0o644); err != nil {
+			log.Fatalf("meshd: write -addr-file: %v", err)
+		}
+	}
+	log.Printf("meshd: serving on http://%s (drain grace %v)", bound, *drain)
+
+	hs := &http.Server{Handler: mux}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-serveErr:
+		log.Fatalf("meshd: serve: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("meshd: draining (grace %v)", *drain)
+	// Flip /healthz to 503 immediately so load balancers stop routing
+	// here, give in-flight requests the grace period to finish, then
+	// abort the stragglers (streaming batches) via the server's base
+	// context. The shutdown context extends slightly past the grace so
+	// aborted batch handlers can still write their terminal stream_error
+	// line.
+	srv.BeginDrain()
+	timer := time.AfterFunc(*drain, func() {
+		srv.Drain(fmt.Errorf("%w: %v grace elapsed", server.ErrDraining, *drain))
+	})
+	defer timer.Stop()
+	sctx, cancel := context.WithTimeout(context.Background(), *drain+2*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("meshd: forced close after drain: %v", err)
+		_ = hs.Close()
+	}
+	log.Printf("meshd: stopped")
+}

@@ -1,0 +1,329 @@
+// Command meshload is an open-loop load generator for meshd. It creates
+// (or recreates) a mesh, injects an initial fault configuration, fires
+// route requests from a worker pool — at a fixed arrival rate or
+// closed-loop — and optionally churns the fault configuration with
+// atomic transactions mid-run, the serving regime the engine's snapshot
+// architecture is built for. It reports throughput, latency percentiles,
+// and a per-wire-code response tally, and exits non-zero when any
+// response leaks outside the documented taxonomy (5xx, transport
+// failures, unknown codes) — which makes it the CI smoke gate.
+//
+// Usage:
+//
+//	meshload -addr 127.0.0.1:8080 [-mesh load] [-n 32] [-faults 60] \
+//	         [-seed 1] [-requests 1000] [-duration 0] [-rate 0] \
+//	         [-workers 16] [-oracle] [-algo rb2] \
+//	         [-churn 0] [-churn-faults -1] [-keep]
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// wire mirrors of the internal/server request/response bodies (meshload
+// speaks the public wire protocol only, like any external client).
+type coord struct {
+	X int `json:"x"`
+	Y int `json:"y"`
+}
+
+type routeRequest struct {
+	Src       coord  `json:"src"`
+	Dst       coord  `json:"dst"`
+	Algorithm string `json:"algorithm,omitempty"`
+	NoOracle  bool   `json:"no_oracle,omitempty"`
+}
+
+type wireError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+type errorBody struct {
+	Error wireError `json:"error"`
+}
+
+// tally accumulates response outcomes across workers.
+type tally struct {
+	mu        sync.Mutex
+	byCode    map[string]int
+	latencies []time.Duration
+	ok        int
+	leaked    int // 5xx, transport errors, undecodable bodies
+}
+
+func (t *tally) record(code string, latency time.Duration, ok, leak bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.latencies = append(t.latencies, latency)
+	if ok {
+		t.ok++
+	} else {
+		t.byCode[code]++
+	}
+	if leak {
+		t.leaked++
+	}
+}
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "meshd address (host:port or http URL)")
+	meshName := flag.String("mesh", "load", "mesh name to create and drive")
+	n := flag.Int("n", 32, "mesh side length")
+	faults := flag.Int("faults", 60, "initial random faults")
+	seed := flag.Int64("seed", 1, "fault and endpoint seed")
+	requests := flag.Int("requests", 1000, "total requests (0 = until -duration)")
+	duration := flag.Duration("duration", 0, "run length (0 = until -requests)")
+	rate := flag.Float64("rate", 0, "open-loop arrival rate in req/s (0 = closed loop)")
+	workers := flag.Int("workers", 16, "concurrent request workers")
+	oracle := flag.Bool("oracle", false, "request BFS oracle reports (off = serving hot path)")
+	algo := flag.String("algo", "rb2", "routing algorithm: ecube, rb1, rb2, rb3")
+	churn := flag.Duration("churn", 0, "apply a fault transaction every interval (0 = off)")
+	churnFaults := flag.Int("churn-faults", -1, "faults per churn transaction (-1 = same as -faults)")
+	keep := flag.Bool("keep", false, "keep the mesh registered after the run")
+	flag.Parse()
+
+	base := *addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	base = strings.TrimRight(base, "/")
+	if *requests <= 0 && *duration <= 0 {
+		*requests = 1000
+	}
+	if *churnFaults < 0 {
+		*churnFaults = *faults
+	}
+
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        *workers * 2,
+		MaxIdleConnsPerHost: *workers * 2,
+	}}
+
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "meshload: "+format+"\n", args...)
+		os.Exit(1)
+	}
+
+	// (Re)create the target mesh and seed its fault configuration.
+	del, err := http.NewRequest(http.MethodDelete, base+"/v1/meshes/"+*meshName, nil)
+	if err != nil {
+		fail("%v", err)
+	}
+	if resp, err := client.Do(del); err != nil {
+		fail("cannot reach %s: %v", base, err)
+	} else {
+		drainBody(resp)
+	}
+	status, body := post(client, base+"/v1/meshes",
+		map[string]any{"name": *meshName, "width": *n, "height": *n})
+	if status != http.StatusCreated {
+		fail("create mesh: HTTP %d: %s", status, body)
+	}
+	status, body = post(client, base+"/v1/meshes/"+*meshName+"/faults",
+		map[string]any{"ops": []map[string]any{{"op": "inject_random", "count": *faults, "seed": *seed}}})
+	if status != http.StatusOK {
+		fail("inject faults: HTTP %d: %s", status, body)
+	}
+
+	routeURL := base + "/v1/meshes/" + *meshName + "/route"
+	t := &tally{byCode: make(map[string]int)}
+	var sent atomic.Int64
+
+	// Open loop: arrivals tick at -rate into a deep buffer so a slow
+	// server grows the queue instead of slowing the arrival process.
+	// Closed loop (-rate 0): workers fire as fast as responses return.
+	tickets := make(chan struct{}, 1<<16)
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+	halt := func() { stopOnce.Do(func() { close(stop) }) }
+
+	go func() {
+		defer close(tickets)
+		emitted := 0
+		var tick <-chan time.Time
+		if *rate > 0 {
+			ticker := time.NewTicker(time.Duration(float64(time.Second) / *rate))
+			defer ticker.Stop()
+			tick = ticker.C
+		}
+		for {
+			if *requests > 0 && emitted >= *requests {
+				return
+			}
+			if tick != nil {
+				select {
+				case <-tick:
+				case <-stop:
+					return
+				}
+			}
+			select {
+			case tickets <- struct{}{}:
+				emitted++
+			case <-stop:
+				return
+			}
+		}
+	}()
+	if *duration > 0 {
+		time.AfterFunc(*duration, halt)
+	}
+
+	// Fault churn: transactions land mid-run, forcing snapshot
+	// publications underneath the in-flight request stream.
+	churnDone := make(chan int, 1)
+	if *churn > 0 {
+		go func() {
+			txns := 0
+			ticker := time.NewTicker(*churn)
+			defer ticker.Stop()
+			defer func() { churnDone <- txns }()
+			for i := int64(1); ; i++ {
+				select {
+				case <-stop:
+					return
+				case <-ticker.C:
+				}
+				status, body := post(client, base+"/v1/meshes/"+*meshName+"/faults",
+					map[string]any{"ops": []map[string]any{{"op": "inject_random", "count": *churnFaults, "seed": *seed + i}}})
+				if status != http.StatusOK {
+					fmt.Fprintf(os.Stderr, "meshload: churn transaction: HTTP %d: %s\n", status, body)
+					continue
+				}
+				txns++
+			}
+		}()
+	} else {
+		churnDone <- 0
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < *workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(*seed + int64(w)*7919))
+			buf := new(bytes.Buffer)
+			for range tickets {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				req := routeRequest{
+					Src:       coord{X: rng.Intn(*n), Y: rng.Intn(*n)},
+					Dst:       coord{X: rng.Intn(*n), Y: rng.Intn(*n)},
+					Algorithm: *algo,
+					NoOracle:  !*oracle,
+				}
+				buf.Reset()
+				_ = json.NewEncoder(buf).Encode(req)
+				t0 := time.Now()
+				resp, err := client.Post(routeURL, "application/json", bytes.NewReader(buf.Bytes()))
+				lat := time.Since(t0)
+				sent.Add(1)
+				if err != nil {
+					t.record("TRANSPORT", lat, false, true)
+					continue
+				}
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				switch {
+				case resp.StatusCode == http.StatusOK:
+					t.record("", lat, true, false)
+				case resp.StatusCode >= 500:
+					t.record(fmt.Sprintf("HTTP_%d", resp.StatusCode), lat, false, true)
+				default:
+					var eb errorBody
+					if json.Unmarshal(body, &eb) != nil || eb.Error.Code == "" {
+						t.record(fmt.Sprintf("UNDECODABLE_%d", resp.StatusCode), lat, false, true)
+					} else {
+						t.record(eb.Error.Code, lat, false, false)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	halt()
+	elapsed := time.Since(start)
+	txns := <-churnDone
+
+	if !*keep {
+		if req, err := http.NewRequest(http.MethodDelete, base+"/v1/meshes/"+*meshName, nil); err == nil {
+			if resp, err := client.Do(req); err == nil {
+				drainBody(resp)
+			}
+		}
+	}
+
+	// Summary.
+	total := len(t.latencies)
+	fmt.Printf("meshload: %d requests in %v (%.0f req/s, %d workers", total, elapsed.Round(time.Millisecond),
+		float64(total)/elapsed.Seconds(), *workers)
+	if *rate > 0 {
+		fmt.Printf(", open loop @ %.0f req/s", *rate)
+	}
+	fmt.Printf(")\n")
+	sort.Slice(t.latencies, func(i, j int) bool { return t.latencies[i] < t.latencies[j] })
+	if total > 0 {
+		pct := func(p float64) time.Duration {
+			i := int(p * float64(total-1))
+			return t.latencies[i]
+		}
+		fmt.Printf("latency: p50 %v  p90 %v  p99 %v  max %v\n",
+			pct(0.50).Round(time.Microsecond), pct(0.90).Round(time.Microsecond),
+			pct(0.99).Round(time.Microsecond), t.latencies[total-1].Round(time.Microsecond))
+	}
+	fmt.Printf("outcomes: %d delivered", t.ok)
+	codes := make([]string, 0, len(t.byCode))
+	for code := range t.byCode {
+		codes = append(codes, code)
+	}
+	sort.Strings(codes)
+	for _, code := range codes {
+		fmt.Printf(", %d %s", t.byCode[code], code)
+	}
+	fmt.Printf("; %d fault transactions mid-run\n", txns)
+	if t.leaked > 0 {
+		fmt.Fprintf(os.Stderr, "meshload: FAIL: %d responses outside the documented taxonomy (5xx/transport/undecodable)\n", t.leaked)
+		os.Exit(1)
+	}
+	if t.ok == 0 {
+		fmt.Fprintln(os.Stderr, "meshload: FAIL: no request delivered")
+		os.Exit(1)
+	}
+}
+
+// post sends one JSON POST and returns the status and body.
+func post(client *http.Client, url string, v any) (int, string) {
+	buf, _ := json.Marshal(v)
+	resp, err := client.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return 0, err.Error()
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, strings.TrimSpace(string(body))
+}
+
+// drainBody discards and closes a response body so the connection can be
+// reused.
+func drainBody(resp *http.Response) {
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+}

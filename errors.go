@@ -64,6 +64,13 @@ type ErrAborted struct {
 	// Path is the partial walk, source first — useful for rendering the
 	// decision trace of a failed routing.
 	Path []Coord
+	// WallFlips counts orbit-livelock recoveries before the abort: forced
+	// flips of the detour wall side after revisiting a node too often.
+	WallFlips int
+	// Downgraded reports that a detour downgraded its wall from the
+	// MCC-region boundary to the physical (faulty-only) boundary before
+	// the abort.
+	Downgraded bool
 }
 
 // Error implements error.
@@ -75,4 +82,59 @@ func (e *ErrAborted) Error() string {
 // canceledErr wraps the context cause together with ErrCanceled.
 func canceledErr(ctx context.Context) error {
 	return fmt.Errorf("meshroute: %w: %w", ErrCanceled, context.Cause(ctx))
+}
+
+// Stable wire codes for the v1 error taxonomy. Network-facing layers
+// (internal/server's JSON error bodies, cmd/meshload's per-code tallies)
+// exchange these strings instead of Go error values; ErrorCode maps a
+// taxonomy error to its code and the codes never change once published.
+const (
+	// CodeOutsideMesh identifies ErrOutsideMesh (and any request rejected
+	// for out-of-range geometry, such as degenerate mesh dimensions).
+	CodeOutsideMesh = "OUTSIDE_MESH"
+	// CodeFaultyEndpoint identifies ErrFaultyEndpoint.
+	CodeFaultyEndpoint = "FAULTY_ENDPOINT"
+	// CodeUnreachable identifies ErrUnreachable.
+	CodeUnreachable = "UNREACHABLE"
+	// CodeAborted identifies *ErrAborted; its wire form carries the abort
+	// diagnostics (reason, hops, partial path, wall flips, downgrade).
+	CodeAborted = "ABORTED"
+	// CodeCanceled identifies ErrCanceled (request cut short by its
+	// context: client disconnect, deadline, server drain).
+	CodeCanceled = "CANCELED"
+	// CodeInvalidFaultCount identifies ErrInvalidFaultCount.
+	CodeInvalidFaultCount = "INVALID_FAULT_COUNT"
+	// CodeNotAdjacent identifies ErrNotAdjacent.
+	CodeNotAdjacent = "NOT_ADJACENT"
+)
+
+// ErrorCode returns the stable wire code for an error from the v1
+// taxonomy, and "" for nil or errors outside the taxonomy (which
+// network layers should surface as their own internal-error form).
+// The match uses errors.Is/errors.As, so wrapped errors map correctly.
+//
+// Order matters where errors wrap each other: a canceled batch item wraps
+// ErrCanceled only, but an aborted walk may carry both an abort and a
+// cancellation cause — cancellation wins, matching Route's semantics.
+func ErrorCode(err error) string {
+	var abort *ErrAborted
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, ErrCanceled):
+		return CodeCanceled
+	case errors.Is(err, ErrOutsideMesh):
+		return CodeOutsideMesh
+	case errors.Is(err, ErrFaultyEndpoint):
+		return CodeFaultyEndpoint
+	case errors.Is(err, ErrUnreachable):
+		return CodeUnreachable
+	case errors.Is(err, ErrInvalidFaultCount):
+		return CodeInvalidFaultCount
+	case errors.Is(err, ErrNotAdjacent):
+		return CodeNotAdjacent
+	case errors.As(err, &abort):
+		return CodeAborted
+	}
+	return ""
 }

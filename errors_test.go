@@ -241,3 +241,49 @@ func TestBatchCloseReleasesAbandonedStream(t *testing.T) {
 		t.Errorf("closed batch Err = %v, want ErrCanceled", err)
 	}
 }
+
+// TestErrorCode locks the error -> wire-code mapping the serving layer
+// builds its JSON bodies from: every sentinel maps to its stable code
+// through arbitrary wrapping, cancellation wins over a co-present abort,
+// and out-of-taxonomy errors map to "".
+func TestErrorCode(t *testing.T) {
+	ctx := context.Background()
+	net := taxonomyNet(t)
+	for _, tc := range []struct {
+		name string
+		err  error
+		want string
+	}{
+		{"nil", nil, ""},
+		{"outside mesh", ErrOutsideMesh, CodeOutsideMesh},
+		{"faulty endpoint wrapped", func() error {
+			_, err := net.Route(ctx, RouteRequest{Src: C(2, 2), Dst: C(0, 0)})
+			return err
+		}(), CodeFaultyEndpoint},
+		{"unreachable wrapped", func() error {
+			_, err := net.Route(ctx, RouteRequest{Src: C(0, 0), Dst: C(5, 5)})
+			return err
+		}(), CodeUnreachable},
+		{"aborted", func() error {
+			_, err := net.Route(ctx, RouteRequest{Src: C(0, 0), Dst: C(5, 5)}, WithoutOracle())
+			return err
+		}(), CodeAborted},
+		{"canceled", func() error {
+			cctx, cancel := context.WithCancel(ctx)
+			cancel()
+			_, err := net.Route(cctx, RouteRequest{Src: C(0, 0), Dst: C(1, 1)})
+			return err
+		}(), CodeCanceled},
+		{"invalid fault count", net.InjectRandom(-1, 1), CodeInvalidFaultCount},
+		{"not adjacent", net.AddLinkFault(C(0, 0), C(3, 3)), CodeNotAdjacent},
+		{"outside taxonomy", errors.New("disk on fire"), ""},
+	} {
+		if tc.want != "" && tc.err == nil {
+			t.Errorf("%s: expected an error to classify", tc.name)
+			continue
+		}
+		if got := ErrorCode(tc.err); got != tc.want {
+			t.Errorf("%s: ErrorCode(%v) = %q, want %q", tc.name, tc.err, got, tc.want)
+		}
+	}
+}

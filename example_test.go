@@ -2,6 +2,7 @@ package meshroute_test
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	meshroute "repro"
@@ -38,4 +39,92 @@ func Example() {
 		resp.Oracle.ManhattanFeasible)
 	// Output:
 	// regions=1 hops=11 optimal=11 shortest=true manhattan=false
+}
+
+// ExampleNetwork_Apply demonstrates the atomic fault transaction: edits
+// stage on a private copy and publish as exactly one snapshot, and a
+// failing transaction rolls back completely — concurrent readers never
+// observe the partial state.
+func ExampleNetwork_Apply() {
+	net := meshroute.NewSquare(8)
+	err := net.Apply(func(tx *meshroute.Tx) error {
+		if err := tx.AddFault(meshroute.C(2, 2)); err != nil {
+			return err
+		}
+		return tx.AddFault(meshroute.C(3, 3))
+	})
+	fmt.Println("committed:", err == nil, "faults:", net.FaultCount())
+
+	err = net.Apply(func(tx *meshroute.Tx) error {
+		if err := tx.AddFault(meshroute.C(4, 4)); err != nil {
+			return err
+		}
+		return tx.AddFault(meshroute.C(99, 99)) // outside the mesh: whole txn rolls back
+	})
+	fmt.Println("rolled back:", errors.Is(err, meshroute.ErrOutsideMesh), "faults:", net.FaultCount())
+	// Output:
+	// committed: true faults: 2
+	// rolled back: true faults: 2
+}
+
+// ExampleBatch_Next demonstrates streaming batch consumption: items
+// arrive in completion order with O(workers) buffering, and Index maps
+// each outcome back to its request position.
+func ExampleBatch_Next() {
+	net := meshroute.NewSquare(8)
+	batch, err := net.RouteBatch(context.Background(), meshroute.BatchRequest{
+		Pairs: []meshroute.Pair{
+			{S: meshroute.C(0, 0), D: meshroute.C(7, 7)},
+			{S: meshroute.C(7, 0), D: meshroute.C(0, 7)},
+		},
+	})
+	if err != nil {
+		panic(err)
+	}
+	hops := make([]int, batch.Len())
+	for item, ok := batch.Next(); ok; item, ok = batch.Next() {
+		if item.Err != nil {
+			panic(item.Err)
+		}
+		hops[item.Index] = item.Response.Hops
+	}
+	fmt.Println(hops, batch.Err())
+	// Output:
+	// [14 14] <nil>
+}
+
+// Example_typedErrors demonstrates dispatching on the v1 error taxonomy
+// with errors.Is / errors.As, and the stable wire codes network layers
+// exchange instead of Go error values.
+func Example_typedErrors() {
+	net := meshroute.NewSquare(6)
+	// Seal the origin corner: (0,0) survives but is unreachable.
+	if err := net.Apply(func(tx *meshroute.Tx) error {
+		for _, c := range []meshroute.Coord{
+			meshroute.C(1, 0), meshroute.C(1, 1), meshroute.C(0, 1),
+		} {
+			if err := tx.AddFault(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		panic(err)
+	}
+	req := meshroute.RouteRequest{Src: meshroute.C(0, 0), Dst: meshroute.C(5, 5)}
+
+	// With the oracle on, a disconnected destination is UNREACHABLE.
+	_, err := net.Route(context.Background(), req)
+	fmt.Println(errors.Is(err, meshroute.ErrUnreachable), meshroute.ErrorCode(err))
+
+	// Without it, the walk fails instead; errors.As recovers the abort
+	// diagnostics (reason, partial path, wall flips, downgrade).
+	_, err = net.Route(context.Background(), req, meshroute.WithoutOracle())
+	var abort *meshroute.ErrAborted
+	if errors.As(err, &abort) {
+		fmt.Println(abort.Reason, abort.Hops, abort.Downgraded, meshroute.ErrorCode(err))
+	}
+	// Output:
+	// true UNREACHABLE
+	// walled in 0 true ABORTED
 }

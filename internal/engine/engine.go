@@ -35,6 +35,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/fault"
 	"repro/internal/info"
@@ -79,6 +80,7 @@ type Snapshot struct {
 	version  uint64
 	scratch  sync.Pool
 	oracle   *spath.Oracle
+	metrics  Metrics
 }
 
 // NewSnapshot clones f and precomputes the analysis under the given
@@ -91,6 +93,7 @@ func NewSnapshot(f *fault.Set, opts Options) *Snapshot {
 		faults:   frozen,
 		analysis: a,
 		oracle:   spath.NewOracle(frozen, opts.OracleBound),
+		metrics:  opts.Metrics,
 	}
 }
 
@@ -139,6 +142,25 @@ type Options struct {
 	// OracleBound caps the per-source BFS distance fields each snapshot's
 	// Oracle caches (<= 0 means spath.DefaultOracleBound).
 	OracleBound int
+	// Metrics, when non-nil, observes every routed walk (Route and each
+	// batch item) on every snapshot the router publishes. See Metrics.
+	Metrics Metrics
+}
+
+// Metrics is the engine's serving-side counters hook. A non-nil
+// Options.Metrics is invoked once per routed walk — single-pair Route
+// calls and every batch item alike — after the walk completes and before
+// its result is returned. Requests rejected before walking (endpoint
+// outside the mesh, faulty endpoint) do not reach the hook; serving
+// layers count those at their own boundary.
+//
+// Implementations are called concurrently from every goroutine the engine
+// routes on and sit on the zero-allocation hot path: they must be safe
+// for concurrent use and fast (atomic counters, not locks around maps).
+type Metrics interface {
+	// RouteServed records one completed walk: the algorithm, whether the
+	// walk delivered, the hops walked, and the wall-clock walk duration.
+	RouteServed(algo routing.Algo, delivered bool, hops int, d time.Duration)
 }
 
 // Router serves routing queries concurrently over an atomically swappable
@@ -306,7 +328,14 @@ func routeOn(snap *Snapshot, algo routing.Algo, s, d mesh.Coord, opt routing.Opt
 	if borrowed {
 		opt.Scratch = snap.getScratch()
 	}
+	var start time.Time
+	if snap.metrics != nil {
+		start = time.Now()
+	}
 	res := routing.Route(snap.analysis, algo, s, d, opt)
+	if snap.metrics != nil {
+		snap.metrics.RouteServed(algo, res.Delivered, res.Hops, time.Since(start))
+	}
 	res.Path = append([]mesh.Coord(nil), res.Path...)
 	if borrowed {
 		snap.putScratch(opt.Scratch)

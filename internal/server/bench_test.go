@@ -1,0 +1,150 @@
+// Serving-path benchmarks: the same paper-scale routing workload as the
+// library benchmarks (100x100 mesh, 1500 uniform faults, seed 42), but
+// measured through the full HTTP surface — JSON decode, registry lookup,
+// engine route, JSON encode — so BENCH_routing.json tracks the serving
+// overhead next to the raw library numbers. BenchmarkServeRoute uses an
+// in-process recorder (no TCP); BenchmarkServeRouteParallel drives a real
+// listener over keep-alive connections, the closest proxy for deployed
+// throughput.
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// benchServer lazily builds one shared server fixture per test binary:
+// the 100x100/1500-fault analysis precompute is expensive and must not
+// re-run per benchmark calibration invocation.
+var benchServer = struct {
+	once sync.Once
+	s    *Server
+}{}
+
+func benchFixture(b *testing.B) *Server {
+	benchServer.once.Do(func() {
+		s := New(Config{})
+		w := httptest.NewRecorder()
+		s.Handler().ServeHTTP(w, httptest.NewRequest("POST", "/v1/meshes",
+			strings.NewReader(`{"name":"bench","width":100,"height":100}`)))
+		if w.Code != http.StatusCreated {
+			panic(fmt.Sprintf("bench fixture create: HTTP %d: %s", w.Code, w.Body))
+		}
+		w = httptest.NewRecorder()
+		s.Handler().ServeHTTP(w, httptest.NewRequest("POST", "/v1/meshes/bench/faults",
+			strings.NewReader(`{"ops":[{"op":"inject_random","count":1500,"seed":42}]}`)))
+		if w.Code != http.StatusOK {
+			panic(fmt.Sprintf("bench fixture faults: HTTP %d: %s", w.Code, w.Body))
+		}
+		benchServer.s = s
+	})
+	return benchServer.s
+}
+
+// benchPairs mirrors the library benchmark workload: deterministic pairs
+// spread across the mesh; endpoints that land on faults simply return
+// FAULTY_ENDPOINT bodies, as production traffic would.
+func benchBody(i int) *strings.Reader {
+	return strings.NewReader(fmt.Sprintf(
+		`{"src":{"x":%d,"y":%d},"dst":{"x":%d,"y":%d},"no_oracle":true}`,
+		i%100, (i*31)%100, (i*53)%100, (i*71)%100))
+}
+
+// BenchmarkServeRoute measures one serialized HTTP route request through
+// the handler (no network): request decode + engine walk + response
+// encode on the serving hot path (oracle off).
+func BenchmarkServeRoute(b *testing.B) {
+	s := benchFixture(b)
+	h := s.Handler()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := httptest.NewRecorder()
+		// 200, 409 (faulty endpoint), and 422 (oracle off: unreachable
+		// pairs abort) are all legitimate production outcomes here.
+		h.ServeHTTP(w, httptest.NewRequest("POST", "/v1/meshes/bench/route", benchBody(i)))
+		if w.Code != http.StatusOK && w.Code != http.StatusConflict && w.Code != http.StatusUnprocessableEntity {
+			b.Fatalf("HTTP %d: %s", w.Code, w.Body)
+		}
+	}
+}
+
+// BenchmarkServeRouteOracle is BenchmarkServeRoute with the BFS oracle
+// report on — the measurement configuration, amortized by the snapshot's
+// distance-field cache.
+func BenchmarkServeRouteOracle(b *testing.B) {
+	s := benchFixture(b)
+	h := s.Handler()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, httptest.NewRequest("POST", "/v1/meshes/bench/route",
+			strings.NewReader(fmt.Sprintf(
+				`{"src":{"x":%d,"y":%d},"dst":{"x":%d,"y":%d}}`,
+				i%100, (i*31)%100, (i*53)%100, (i*71)%100))))
+		if w.Code != http.StatusOK && w.Code != http.StatusConflict && w.Code != http.StatusUnprocessableEntity {
+			b.Fatalf("HTTP %d: %s", w.Code, w.Body)
+		}
+	}
+}
+
+// BenchmarkServeRouteParallel measures aggregate serving throughput over
+// a real TCP listener with per-goroutine keep-alive connections.
+func BenchmarkServeRouteParallel(b *testing.B) {
+	s := benchFixture(b)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	url := ts.URL + "/v1/meshes/bench/route"
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 4}}
+		i := 0
+		for pb.Next() {
+			i++
+			resp, err := client.Post(url, "application/json", benchBody(i))
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusConflict &&
+				resp.StatusCode != http.StatusUnprocessableEntity {
+				b.Errorf("HTTP %d", resp.StatusCode)
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkServeBatchNDJSON measures the streaming batch endpoint:
+// 256 pairs per request, NDJSON out, reported per request (divide by 256
+// for the per-pair cost).
+func BenchmarkServeBatchNDJSON(b *testing.B) {
+	s := benchFixture(b)
+	h := s.Handler()
+	var pairs []string
+	for i := 0; i < 256; i++ {
+		pairs = append(pairs, fmt.Sprintf(
+			`{"src":{"x":%d,"y":%d},"dst":{"x":%d,"y":%d}}`,
+			i%100, (i*31)%100, (i*53)%100, (i*71)%100))
+	}
+	body := `{"pairs":[` + strings.Join(pairs, ",") + `],"no_oracle":true}`
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, httptest.NewRequest("POST", "/v1/meshes/bench/route/batch",
+			strings.NewReader(body)))
+		if w.Code != http.StatusOK {
+			b.Fatalf("HTTP %d", w.Code)
+		}
+	}
+}

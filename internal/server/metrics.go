@@ -1,0 +1,157 @@
+package server
+
+import (
+	"sync/atomic"
+	"time"
+
+	meshroute "repro"
+	"repro/internal/routing"
+)
+
+// latencyBounds are the upper bounds (inclusive) of the walk-latency
+// histogram buckets, in microseconds; a final implicit +Inf bucket
+// catches the rest. The range brackets the measured serving profile:
+// warm-scratch RB2 walks on the paper's 100x100/1500-fault mesh run
+// ~0.8ms, small meshes tens of microseconds.
+var latencyBounds = [...]int64{50, 100, 250, 500, 1000, 2500, 5000, 10000, 25000, 50000, 100000}
+
+// collector accumulates per-mesh serving counters. Its walk-side counters
+// are fed by the engine's Metrics hook (one event per walk, including
+// every batch item), so it must stay allocation-free and lock-free; the
+// HTTP-side error tally is bumped by the handlers.
+type collector struct {
+	routes    atomic.Uint64 // walks served (batch items included)
+	delivered atomic.Uint64 // walks that reached the destination
+	hops      atomic.Uint64 // total hops walked, for the mean
+	buckets   [len(latencyBounds) + 1]atomic.Uint64
+
+	// httpErrors counts error outcomes by wire code — non-2xx responses
+	// plus per-item errors inside 200 NDJSON batch streams. The code set
+	// is closed (the documented taxonomy), so the map is preallocated and
+	// only its values mutate — safe for concurrent use without a lock.
+	httpErrors map[string]*atomic.Uint64
+}
+
+// errorCodes is every wire code a handler can emit, preallocated in each
+// collector's httpErrors map.
+var errorCodes = []string{
+	CodeBadRequest, CodeMeshNotFound, CodeMeshExists, CodeRegistryFull,
+	CodeInternal,
+	meshroute.CodeOutsideMesh, meshroute.CodeFaultyEndpoint,
+	meshroute.CodeUnreachable, meshroute.CodeAborted,
+	meshroute.CodeCanceled, meshroute.CodeInvalidFaultCount,
+	meshroute.CodeNotAdjacent,
+}
+
+func newCollector() *collector {
+	c := &collector{httpErrors: make(map[string]*atomic.Uint64, len(errorCodes))}
+	for _, code := range errorCodes {
+		c.httpErrors[code] = new(atomic.Uint64)
+	}
+	return c
+}
+
+// RouteServed implements engine.Metrics.
+func (c *collector) RouteServed(_ routing.Algo, delivered bool, hops int, d time.Duration) {
+	c.routes.Add(1)
+	if delivered {
+		c.delivered.Add(1)
+		c.hops.Add(uint64(hops))
+	}
+	us := d.Microseconds()
+	i := 0
+	for ; i < len(latencyBounds); i++ {
+		if us <= latencyBounds[i] {
+			break
+		}
+	}
+	c.buckets[i].Add(1)
+}
+
+// countError tallies one error outcome by wire code. Unknown codes
+// fold into INTERNAL so the tally never allocates.
+func (c *collector) countError(code string) {
+	ctr, ok := c.httpErrors[code]
+	if !ok {
+		ctr = c.httpErrors[CodeInternal]
+	}
+	ctr.Add(1)
+}
+
+// LatencyBucket is one cumulative-free histogram bucket of /varz: Count
+// walks finished in (previous bound, LEMicros].
+type LatencyBucket struct {
+	// LEMicros is the bucket's inclusive upper bound in microseconds;
+	// -1 marks the +Inf overflow bucket.
+	LEMicros int64  `json:"le_us"`
+	Count    uint64 `json:"count"`
+}
+
+// MeshVarz is the per-mesh block of /varz.
+type MeshVarz struct {
+	// Routes counts walks the engine served (every batch item counts).
+	Routes uint64 `json:"routes"`
+	// Delivered counts walks that reached their destination.
+	Delivered uint64 `json:"delivered"`
+	// MeanHops is the mean hop count over delivered walks.
+	MeanHops float64 `json:"mean_hops"`
+	// LatencyBuckets is the walk-latency histogram.
+	LatencyBuckets []LatencyBucket `json:"latency_buckets"`
+	// Errors counts error outcomes by wire code (zero-count codes are
+	// omitted): non-2xx responses plus per-item and stream_error records
+	// emitted inside 200 NDJSON batch streams — so the tally can exceed
+	// what HTTP access logs show.
+	Errors map[string]uint64 `json:"errors,omitempty"`
+	// OracleHits / OracleMisses are the distance-oracle counters of the
+	// CURRENT snapshot (a fault publication swaps in a fresh oracle, so
+	// these reset at every committed transaction).
+	OracleHits   uint64 `json:"oracle_hits"`
+	OracleMisses uint64 `json:"oracle_misses"`
+	// OracleHitRate is hits/(hits+misses), 0 when the oracle is unused.
+	OracleHitRate float64 `json:"oracle_hit_rate"`
+	// Faults and SnapshotVersion identify the published configuration.
+	Faults          int    `json:"faults"`
+	SnapshotVersion uint64 `json:"snapshot_version"`
+}
+
+// Varz is the body of GET /varz.
+type Varz struct {
+	UptimeSeconds float64              `json:"uptime_seconds"`
+	Meshes        map[string]*MeshVarz `json:"meshes"`
+}
+
+// varz renders the collector against the mesh's current oracle stats.
+func (c *collector) varz(oracleHits, oracleMisses uint64, faults int, version uint64) *MeshVarz {
+	v := &MeshVarz{
+		Routes:          c.routes.Load(),
+		Delivered:       c.delivered.Load(),
+		OracleHits:      oracleHits,
+		OracleMisses:    oracleMisses,
+		Faults:          faults,
+		SnapshotVersion: version,
+	}
+	if v.Delivered > 0 {
+		v.MeanHops = float64(c.hops.Load()) / float64(v.Delivered)
+	}
+	if total := oracleHits + oracleMisses; total > 0 {
+		v.OracleHitRate = float64(oracleHits) / float64(total)
+	}
+	v.LatencyBuckets = make([]LatencyBucket, len(c.buckets))
+	for i := range c.buckets {
+		le := int64(-1)
+		if i < len(latencyBounds) {
+			le = latencyBounds[i]
+		}
+		v.LatencyBuckets[i] = LatencyBucket{LEMicros: le, Count: c.buckets[i].Load()}
+	}
+	errs := make(map[string]uint64)
+	for code, ctr := range c.httpErrors {
+		if n := ctr.Load(); n > 0 {
+			errs[code] = n
+		}
+	}
+	if len(errs) > 0 {
+		v.Errors = errs
+	}
+	return v
+}

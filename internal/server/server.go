@@ -1,0 +1,674 @@
+// Package server implements meshd's HTTP JSON API: a multi-mesh registry
+// over the meshroute engine, with shortest-path route serving, streaming
+// NDJSON batches, atomic fault transactions, and serving metrics.
+//
+// # Wire protocol (v1)
+//
+//	POST   /v1/meshes                      create a mesh        CreateMeshRequest -> MeshInfo (201)
+//	GET    /v1/meshes                      list meshes          -> MeshList
+//	GET    /v1/meshes/{name}               inspect one mesh     -> MeshInfo (with connectivity)
+//	DELETE /v1/meshes/{name}               unregister           -> 204
+//	POST   /v1/meshes/{name}/route         route one pair       RouteWireRequest -> RouteWireResponse
+//	POST   /v1/meshes/{name}/route/batch   streaming batch      BatchWireRequest -> NDJSON of BatchWireItem
+//	POST   /v1/meshes/{name}/faults        atomic fault txn     FaultsWireRequest -> FaultsWireResponse
+//	GET    /v1/meshes/{name}/faults        list faulty nodes    -> FaultList
+//	GET    /healthz                        liveness/drain state -> 200 ("ok") or 503 ("draining")
+//	GET    /varz                           serving counters     -> Varz
+//
+// Every non-2xx response is a JSON errorBody whose WireError.Code comes
+// from the v1 taxonomy (meshroute.Code*) or the server codes of wire.go;
+// the code alone determines the status (statusForCode). Requests are
+// validated at this boundary — degenerate mesh dimensions and
+// out-of-range coordinates are rejected as OUTSIDE_MESH 400s before they
+// can reach (and panic) the mesh core.
+//
+// # Consistency
+//
+// Each registered mesh is an independent meshroute.Network: its own
+// engine, snapshots, scratch pools, and distance oracle. One route (or
+// one whole batch) is served from one pinned snapshot; a concurrent
+// fault transaction never tears an in-flight request, it only moves the
+// snapshot the NEXT request pins. Fault transactions are atomic: all ops
+// of one /faults POST publish as exactly one snapshot, or none do.
+//
+// # Shutdown
+//
+// Handlers derive their contexts from both the request and the server's
+// base context. Drain cancels the base context with a cause, so
+// in-flight streaming batches stop promptly (their final NDJSON line is
+// a stream_error with code CANCELED) while the HTTP listener — owned by
+// the caller, see cmd/meshd — finishes draining connections.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"regexp"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	meshroute "repro"
+	"repro/internal/engine"
+)
+
+// ErrDraining is the default drain cause: requests aborted by shutdown
+// report CANCELED with this cause in the message.
+var ErrDraining = errors.New("server draining")
+
+// Config tunes a Server. The zero value serves with the defaults.
+type Config struct {
+	// MaxNodes caps Width*Height per mesh (<= 0 means DefaultMaxNodes).
+	// The cap bounds the memory one create can pin (labeling grids,
+	// scratch pools, and oracle fields are all O(nodes)).
+	MaxNodes int
+	// MaxMeshes caps the registry size (<= 0 means DefaultMaxMeshes).
+	MaxMeshes int
+	// MaxBatchPairs caps the pairs of one batch request (<= 0 means
+	// DefaultMaxBatchPairs). Streaming keeps memory at O(workers), so the
+	// cap guards CPU, not memory.
+	MaxBatchPairs int
+	// OracleBound caps each snapshot's cached BFS distance fields
+	// (<= 0 means the engine default).
+	OracleBound int
+}
+
+// The Config defaults.
+const (
+	DefaultMaxNodes      = 1 << 20
+	DefaultMaxMeshes     = 64
+	DefaultMaxBatchPairs = 1 << 20
+)
+
+// maxBodyBytes bounds request bodies read into memory. Batch bodies are
+// the largest legitimate payload: 1M pairs encode in well under 64 MiB.
+const maxBodyBytes = 64 << 20
+
+// meshNameRE validates registry names.
+var meshNameRE = regexp.MustCompile(`^[a-zA-Z0-9][a-zA-Z0-9_.-]{0,63}$`)
+
+// meshEntry is one registered mesh with its serving counters.
+type meshEntry struct {
+	name    string
+	net     *meshroute.Network
+	metrics *collector
+}
+
+// Server is the meshd HTTP API: an http.Handler over a registry of named
+// meshes. Construct with New; serve via Handler; stop in-flight work via
+// Drain. Safe for concurrent use.
+type Server struct {
+	cfg   Config
+	mux   *http.ServeMux
+	start time.Time
+
+	draining atomic.Bool     // set by BeginDrain/Drain: /healthz -> 503
+	base     context.Context // canceled (with cause) by Drain
+	cancel   context.CancelCauseFunc
+
+	mu     sync.RWMutex
+	meshes map[string]*meshEntry
+}
+
+// New returns an empty Server.
+func New(cfg Config) *Server {
+	if cfg.MaxNodes <= 0 {
+		cfg.MaxNodes = DefaultMaxNodes
+	}
+	if cfg.MaxMeshes <= 0 {
+		cfg.MaxMeshes = DefaultMaxMeshes
+	}
+	if cfg.MaxBatchPairs <= 0 {
+		cfg.MaxBatchPairs = DefaultMaxBatchPairs
+	}
+	base, cancel := context.WithCancelCause(context.Background())
+	s := &Server{
+		cfg:    cfg,
+		start:  time.Now(),
+		base:   base,
+		cancel: cancel,
+		meshes: make(map[string]*meshEntry),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /varz", s.handleVarz)
+	mux.HandleFunc("POST /v1/meshes", s.handleCreateMesh)
+	mux.HandleFunc("GET /v1/meshes", s.handleListMeshes)
+	mux.HandleFunc("GET /v1/meshes/{name}", s.handleGetMesh)
+	mux.HandleFunc("DELETE /v1/meshes/{name}", s.handleDeleteMesh)
+	mux.HandleFunc("POST /v1/meshes/{name}/route", s.handleRoute)
+	mux.HandleFunc("POST /v1/meshes/{name}/route/batch", s.handleBatch)
+	mux.HandleFunc("POST /v1/meshes/{name}/faults", s.handleFaults)
+	mux.HandleFunc("GET /v1/meshes/{name}/faults", s.handleListFaults)
+	s.mux = mux
+	return s
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// BeginDrain flips /healthz to 503 so load balancers stop sending
+// traffic, without touching in-flight work. Call it the moment shutdown
+// starts; call Drain when the grace period for in-flight requests has
+// elapsed. Idempotent.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Drain aborts in-flight work: every request context derived after and
+// before this call is canceled with the given cause (nil means
+// ErrDraining), streaming batches stop between items and mid-walk, and
+// /healthz flips to 503 (if BeginDrain hasn't already). Drain does not
+// close the HTTP listener — the owner of the http.Server pairs it with
+// http.Server.Shutdown (see cmd/meshd). Idempotent; the first cause
+// wins.
+func (s *Server) Drain(cause error) {
+	if cause == nil {
+		cause = ErrDraining
+	}
+	s.draining.Store(true)
+	s.cancel(cause)
+}
+
+// Draining reports whether BeginDrain or Drain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// requestContext derives a handler context canceled by whichever comes
+// first: the request (client disconnect) or Drain (with its cause).
+func (s *Server) requestContext(r *http.Request) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancelCause(r.Context())
+	if s.base.Err() != nil {
+		// Already drained: cancel synchronously (AfterFunc on a done
+		// context fires in a goroutine, which would let a fast request
+		// slip through after Drain).
+		cancel(context.Cause(s.base))
+		return ctx, func() { cancel(nil) }
+	}
+	stop := context.AfterFunc(s.base, func() { cancel(context.Cause(s.base)) })
+	return ctx, func() { stop(); cancel(nil) }
+}
+
+// lookup resolves a {name} path value to its entry.
+func (s *Server) lookup(name string) (*meshEntry, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.meshes[name]
+	return e, ok
+}
+
+// writeJSON writes a 2xx JSON response.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+// writeError writes the JSON error body for we, counting it against the
+// mesh's tally when one is in scope (e may be nil for registry errors).
+func writeError(w http.ResponseWriter, e *meshEntry, we WireError) {
+	if e != nil {
+		e.metrics.countError(we.Code)
+	}
+	writeJSON(w, statusForCode(we.Code), errorBody{Error: we})
+}
+
+// badRequest shapes a structural-validation failure.
+func badRequest(format string, args ...any) WireError {
+	return WireError{Code: CodeBadRequest, Message: fmt.Sprintf(format, args...)}
+}
+
+// decodeBody strictly decodes the JSON request body into v: unknown
+// fields, trailing garbage, and oversized bodies are BAD_REQUEST.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) (WireError, bool) {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return badRequest("invalid request body: %v", err), false
+	}
+	if dec.More() {
+		return badRequest("invalid request body: trailing data"), false
+	}
+	return WireError{}, true
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleVarz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Varz())
+}
+
+// Varz assembles the serving counters of every registered mesh.
+func (s *Server) Varz() Varz {
+	s.mu.RLock()
+	entries := make([]*meshEntry, 0, len(s.meshes))
+	for _, e := range s.meshes {
+		entries = append(entries, e)
+	}
+	s.mu.RUnlock()
+	v := Varz{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Meshes:        make(map[string]*MeshVarz, len(entries)),
+	}
+	for _, e := range entries {
+		snap := e.net.Engine().Snapshot()
+		hits, misses := snap.Oracle().Stats()
+		v.Meshes[e.name] = e.metrics.varz(hits, misses, snap.Faults().Count(), snap.Version())
+	}
+	return v
+}
+
+func (s *Server) handleCreateMesh(w http.ResponseWriter, r *http.Request) {
+	var req CreateMeshRequest
+	if we, ok := decodeBody(w, r, &req); !ok {
+		writeError(w, nil, we)
+		return
+	}
+	if !meshNameRE.MatchString(req.Name) {
+		writeError(w, nil, badRequest("invalid mesh name %q (want %s)", req.Name, meshNameRE))
+		return
+	}
+	// Validate the geometry here, at the boundary: mesh.New panics on
+	// degenerate dimensions, which must never be reachable from the wire.
+	if req.Width < 1 || req.Height < 1 {
+		writeError(w, nil, WireError{
+			Code:    meshroute.CodeOutsideMesh,
+			Message: fmt.Sprintf("mesh dimensions %dx%d: both must be >= 1", req.Width, req.Height),
+		})
+		return
+	}
+	// Divide instead of multiplying: width*height overflows int for
+	// absurd dimensions, which would slip past the cap and panic later.
+	if req.Width > s.cfg.MaxNodes/req.Height {
+		writeError(w, nil, WireError{
+			Code:    meshroute.CodeOutsideMesh,
+			Message: fmt.Sprintf("mesh dimensions %dx%d exceed the per-mesh cap of %d nodes", req.Width, req.Height, s.cfg.MaxNodes),
+		})
+		return
+	}
+	// Reject duplicates and a full registry before paying for the build
+	// (the analysis precompute is O(nodes) work), then re-check at insert
+	// in case a concurrent create won the name meanwhile.
+	if we, ok := s.reserveMesh(req.Name); !ok {
+		writeError(w, nil, we)
+		return
+	}
+	metrics := newCollector()
+	net := meshroute.NewWithEngineOptions(req.Width, req.Height, engine.Options{
+		OracleBound: s.cfg.OracleBound,
+		Metrics:     metrics,
+	})
+	e := &meshEntry{name: req.Name, net: net, metrics: metrics}
+	s.mu.Lock()
+	if we, ok := s.registerLocked(e); !ok {
+		s.mu.Unlock()
+		writeError(w, nil, we)
+		return
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusCreated, s.meshInfo(e, false))
+}
+
+// reserveMesh cheaply pre-checks name availability and registry space.
+func (s *Server) reserveMesh(name string) (WireError, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.checkRegistryLocked(name)
+}
+
+// registerLocked inserts an entry after re-validating; callers hold s.mu.
+func (s *Server) registerLocked(e *meshEntry) (WireError, bool) {
+	if we, ok := s.checkRegistryLocked(e.name); !ok {
+		return we, false
+	}
+	s.meshes[e.name] = e
+	return WireError{}, true
+}
+
+// checkRegistryLocked validates name availability and registry space;
+// callers hold s.mu (read or write).
+func (s *Server) checkRegistryLocked(name string) (WireError, bool) {
+	if _, dup := s.meshes[name]; dup {
+		return WireError{
+			Code:    CodeMeshExists,
+			Message: fmt.Sprintf("mesh %q already exists", name),
+		}, false
+	}
+	if len(s.meshes) >= s.cfg.MaxMeshes {
+		return WireError{
+			Code:    CodeRegistryFull,
+			Message: fmt.Sprintf("registry full (%d meshes)", s.cfg.MaxMeshes),
+		}, false
+	}
+	return WireError{}, true
+}
+
+// meshInfo snapshots one entry's stats.
+func (s *Server) meshInfo(e *meshEntry, withConnectivity bool) MeshInfo {
+	st := e.net.Stats()
+	info := MeshInfo{
+		Name:            e.name,
+		Width:           st.Width,
+		Height:          st.Height,
+		Faults:          st.PublishedFaults,
+		PendingEdits:    st.PendingEdits,
+		SnapshotVersion: st.SnapshotVersion,
+	}
+	if withConnectivity {
+		connected := e.net.Connected()
+		info.Connected = &connected
+	}
+	return info
+}
+
+func (s *Server) handleListMeshes(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	entries := make([]*meshEntry, 0, len(s.meshes))
+	for _, e := range s.meshes {
+		entries = append(entries, e)
+	}
+	s.mu.RUnlock()
+	list := MeshList{Meshes: make([]MeshInfo, 0, len(entries))}
+	for _, e := range entries {
+		list.Meshes = append(list.Meshes, s.meshInfo(e, false))
+	}
+	sortMeshInfos(list.Meshes)
+	writeJSON(w, http.StatusOK, list)
+}
+
+// sortMeshInfos orders a listing by name for stable output.
+func sortMeshInfos(infos []MeshInfo) {
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+}
+
+// notFound shapes the missing-mesh error.
+func notFound(name string) WireError {
+	return WireError{Code: CodeMeshNotFound, Message: fmt.Sprintf("mesh %q not found", name)}
+}
+
+func (s *Server) handleGetMesh(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	e, ok := s.lookup(name)
+	if !ok {
+		writeError(w, nil, notFound(name))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.meshInfo(e, true))
+}
+
+func (s *Server) handleDeleteMesh(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	s.mu.Lock()
+	_, ok := s.meshes[name]
+	delete(s.meshes, name)
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, nil, notFound(name))
+		return
+	}
+	// In-flight requests that resolved the entry before the delete finish
+	// normally on their pinned snapshots; the registry just stops handing
+	// the mesh out.
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// routeOptions resolves the shared wire knobs of route and batch
+// requests into facade options.
+func routeOptions(algorithm, policy string, maxHops int, noOracle bool, workers int) ([]meshroute.RouteOption, WireError, bool) {
+	algo, ok := parseAlgorithm(algorithm)
+	if !ok {
+		return nil, badRequest("unknown algorithm %q (want ecube, rb1, rb2, or rb3)", algorithm), false
+	}
+	pol, ok := parsePolicy(policy)
+	if !ok {
+		return nil, badRequest("unknown policy %q (want diagonal, xfirst, or yfirst)", policy), false
+	}
+	if maxHops < 0 {
+		return nil, badRequest("max_hops %d is negative", maxHops), false
+	}
+	opts := []meshroute.RouteOption{
+		meshroute.WithAlgorithm(algo),
+		meshroute.WithPolicy(pol),
+	}
+	if maxHops > 0 {
+		opts = append(opts, meshroute.WithMaxHops(maxHops))
+	}
+	if noOracle {
+		opts = append(opts, meshroute.WithoutOracle())
+	}
+	if workers > 0 {
+		opts = append(opts, meshroute.WithWorkers(workers))
+	}
+	return opts, WireError{}, true
+}
+
+// validateEndpoint bounds-checks one wire coordinate against the mesh
+// before the request reaches the routing layers.
+func validateEndpoint(e *meshEntry, what string, c Coord) (WireError, bool) {
+	if c.X < 0 || c.X >= e.net.Width() || c.Y < 0 || c.Y >= e.net.Height() {
+		return WireError{
+			Code: meshroute.CodeOutsideMesh,
+			Message: fmt.Sprintf("%s (%d,%d) outside the %dx%d mesh",
+				what, c.X, c.Y, e.net.Width(), e.net.Height()),
+		}, false
+	}
+	return WireError{}, true
+}
+
+func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	e, ok := s.lookup(name)
+	if !ok {
+		writeError(w, nil, notFound(name))
+		return
+	}
+	var req RouteWireRequest
+	if we, ok := decodeBody(w, r, &req); !ok {
+		writeError(w, e, we)
+		return
+	}
+	if we, ok := validateEndpoint(e, "src", req.Src); !ok {
+		writeError(w, e, we)
+		return
+	}
+	if we, ok := validateEndpoint(e, "dst", req.Dst); !ok {
+		writeError(w, e, we)
+		return
+	}
+	opts, we, ok := routeOptions(req.Algorithm, req.Policy, req.MaxHops, req.NoOracle, 0)
+	if !ok {
+		writeError(w, e, we)
+		return
+	}
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	resp, err := e.net.Route(ctx, meshroute.RouteRequest{
+		Src: req.Src.coord(), Dst: req.Dst.coord(),
+	}, opts...)
+	if err != nil {
+		writeError(w, e, wireError(err))
+		return
+	}
+	writeJSON(w, http.StatusOK, toWireResponse(resp))
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	e, ok := s.lookup(name)
+	if !ok {
+		writeError(w, nil, notFound(name))
+		return
+	}
+	var req BatchWireRequest
+	if we, ok := decodeBody(w, r, &req); !ok {
+		writeError(w, e, we)
+		return
+	}
+	if len(req.Pairs) == 0 {
+		writeError(w, e, badRequest("batch has no pairs"))
+		return
+	}
+	if len(req.Pairs) > s.cfg.MaxBatchPairs {
+		writeError(w, e, badRequest("batch has %d pairs; the cap is %d", len(req.Pairs), s.cfg.MaxBatchPairs))
+		return
+	}
+	if req.Workers < 0 {
+		writeError(w, e, badRequest("workers %d is negative", req.Workers))
+		return
+	}
+	opts, we, ok := routeOptions(req.Algorithm, req.Policy, req.MaxHops, req.NoOracle, req.Workers)
+	if !ok {
+		writeError(w, e, we)
+		return
+	}
+	pairs := make([]meshroute.Pair, len(req.Pairs))
+	for i, p := range req.Pairs {
+		pairs[i] = meshroute.Pair{S: p.Src.coord(), D: p.Dst.coord()}
+	}
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	batch, err := e.net.RouteBatch(ctx, meshroute.BatchRequest{Pairs: pairs}, opts...)
+	if err != nil {
+		writeError(w, e, wireError(err))
+		return
+	}
+	defer batch.Close()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	for item, ok := batch.Next(); ok; item, ok = batch.Next() {
+		idx := item.Index
+		line := BatchWireItem{
+			Index: &idx,
+			Src:   ptr(toWire(item.Pair.S)),
+			Dst:   ptr(toWire(item.Pair.D)),
+		}
+		if item.Err != nil {
+			we := wireError(item.Err)
+			line.Error = &we
+			e.metrics.countError(we.Code)
+		} else {
+			resp := toWireResponse(item.Response)
+			line.Response = &resp
+		}
+		if err := enc.Encode(line); err != nil {
+			// The client is gone; stop the workers and bail.
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	if err := batch.Err(); err != nil {
+		// The stream was cut short (client disconnect or drain): terminate
+		// it with an explicit stream_error line so consumers can tell a
+		// truncated stream from a complete one.
+		we := wireError(err)
+		e.metrics.countError(we.Code)
+		_ = enc.Encode(BatchWireItem{StreamError: &we})
+	}
+}
+
+func ptr[T any](v T) *T { return &v }
+
+func (s *Server) handleFaults(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	e, ok := s.lookup(name)
+	if !ok {
+		writeError(w, nil, notFound(name))
+		return
+	}
+	var req FaultsWireRequest
+	if we, ok := decodeBody(w, r, &req); !ok {
+		writeError(w, e, we)
+		return
+	}
+	if len(req.Ops) == 0 {
+		writeError(w, e, badRequest("transaction has no ops"))
+		return
+	}
+	// One Apply per request: every op stages on the same transaction, so
+	// the whole POST publishes exactly one snapshot or rolls back whole.
+	var failedOp int
+	err := e.net.Apply(func(tx *meshroute.Tx) error {
+		for i, op := range req.Ops {
+			if err := applyOp(tx, op); err != nil {
+				failedOp = i
+				return fmt.Errorf("op %d (%s): %w", i, op.Op, err)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		var we WireError
+		var bad opError
+		if errors.As(err, &bad) {
+			we = badRequest("%v", err)
+		} else {
+			we = wireError(err)
+		}
+		we.OpIndex = &failedOp
+		writeError(w, e, we)
+		return
+	}
+	st := e.net.Stats()
+	writeJSON(w, http.StatusOK, FaultsWireResponse{
+		OpsApplied:      len(req.Ops),
+		Faults:          st.PublishedFaults,
+		SnapshotVersion: st.SnapshotVersion,
+	})
+}
+
+// opError marks structurally invalid fault ops; wireError cannot
+// classify it, so handleFaults maps it to BAD_REQUEST explicitly.
+type opError struct{ msg string }
+
+func (e opError) Error() string { return e.msg }
+
+// applyOp stages one wire op on the transaction.
+func applyOp(tx *meshroute.Tx, op FaultOp) error {
+	switch op.Op {
+	case "add":
+		if op.At == nil {
+			return opError{`"add" needs "at"`}
+		}
+		return tx.AddFault(op.At.coord())
+	case "repair":
+		if op.At == nil {
+			return opError{`"repair" needs "at"`}
+		}
+		return tx.RepairFault(op.At.coord())
+	case "link":
+		if op.A == nil || op.B == nil {
+			return opError{`"link" needs "a" and "b"`}
+		}
+		return tx.AddLinkFault(op.A.coord(), op.B.coord())
+	case "inject_random":
+		return tx.InjectRandom(op.Count, op.Seed)
+	}
+	return opError{fmt.Sprintf("unknown op %q (want add, repair, link, or inject_random)", op.Op)}
+}
+
+func (s *Server) handleListFaults(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	e, ok := s.lookup(name)
+	if !ok {
+		writeError(w, nil, notFound(name))
+		return
+	}
+	coords := e.net.Engine().Snapshot().Faults().Coords()
+	list := FaultList{Count: len(coords), Faults: toWirePath(coords)}
+	writeJSON(w, http.StatusOK, list)
+}

@@ -2,6 +2,7 @@ package spath
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/fault"
 	"repro/internal/mesh"
@@ -30,6 +31,9 @@ const DefaultOracleBound = 256
 type Oracle struct {
 	f     *fault.Set
 	bound int
+
+	hits   atomic.Uint64 // queries served from an already-resident field
+	misses atomic.Uint64 // queries that had to create (and fill) a field
 
 	mu     sync.Mutex
 	fields map[int]*oracleField // keyed by source mesh.Index
@@ -61,11 +65,20 @@ func (o *Oracle) Len() int {
 	return len(o.fields)
 }
 
+// Stats returns the cumulative hit/miss counters: a hit is a query served
+// from a field already resident in the cache, a miss is a query that had
+// to create one (and pay its BFS). The oracle is scoped to one snapshot,
+// so the counters reset naturally at every fault publication.
+func (o *Oracle) Stats() (hits, misses uint64) {
+	return o.hits.Load(), o.misses.Load()
+}
+
 // entryLocked returns the cache entry for node index idx, creating and
-// FIFO-evicting as needed. Callers hold o.mu.
-func (o *Oracle) entryLocked(idx int) *oracleField {
+// FIFO-evicting as needed; created reports whether the entry is new.
+// Callers hold o.mu.
+func (o *Oracle) entryLocked(idx int) (e *oracleField, created bool) {
 	if e, ok := o.fields[idx]; ok {
-		return e
+		return e, false
 	}
 	if len(o.fields) >= o.bound {
 		// FIFO eviction: drop the oldest source. Readers holding the
@@ -74,10 +87,19 @@ func (o *Oracle) entryLocked(idx int) *oracleField {
 		o.order = o.order[1:]
 		delete(o.fields, oldest)
 	}
-	e := &oracleField{}
+	e = &oracleField{}
 	o.fields[idx] = e
 	o.order = append(o.order, idx)
-	return e
+	return e, true
+}
+
+// count bumps the hit or miss counter for one query.
+func (o *Oracle) count(created bool) {
+	if created {
+		o.misses.Add(1)
+	} else {
+		o.hits.Add(1)
+	}
 }
 
 // fill completes an entry's BFS from src at most once per cache
@@ -93,8 +115,9 @@ func (o *Oracle) fill(e *oracleField, src mesh.Coord) *BFS {
 func (o *Oracle) Field(src mesh.Coord) *BFS {
 	idx := o.f.Mesh().Index(src)
 	o.mu.Lock()
-	e := o.entryLocked(idx)
+	e, created := o.entryLocked(idx)
 	o.mu.Unlock()
+	o.count(created)
 	return o.fill(e, src)
 }
 
@@ -110,10 +133,12 @@ func (o *Oracle) Dist(s, d mesh.Coord) int32 {
 	o.mu.Lock()
 	if e, ok := o.fields[m.Index(d)]; ok {
 		o.mu.Unlock()
+		o.hits.Add(1)
 		return o.fill(e, d).Dist(s)
 	}
-	e := o.entryLocked(m.Index(s))
+	e, created := o.entryLocked(m.Index(s))
 	o.mu.Unlock()
+	o.count(created)
 	return o.fill(e, s).Dist(d)
 }
 

@@ -179,3 +179,30 @@ func BenchmarkDistancePerPair(b *testing.B) {
 		}
 	}
 }
+
+// TestOracleStats locks the hit/miss accounting the serving layer's
+// /varz hit rate reads: a fresh field is a miss, any query answered by a
+// resident field (same source, symmetric endpoint, or Field reuse) is a
+// hit.
+func TestOracleStats(t *testing.T) {
+	f := oracleFaults(t, 12, 0, 1)
+	o := NewOracle(f, 0)
+	if h, m := o.Stats(); h != 0 || m != 0 {
+		t.Fatalf("fresh oracle stats = %d/%d, want 0/0", h, m)
+	}
+	s, d := mesh.C(1, 1), mesh.C(9, 9)
+	o.Dist(s, d) // creates the s field
+	if h, m := o.Stats(); h != 0 || m != 1 {
+		t.Fatalf("after first Dist: hits=%d misses=%d, want 0/1", h, m)
+	}
+	o.Dist(s, mesh.C(5, 5)) // d has no field; s is found via entryLocked
+	o.Dist(d, s)            // symmetric: the s field answers as destination
+	o.Field(s)              // resident field
+	if h, m := o.Stats(); h != 3 || m != 1 {
+		t.Fatalf("after reuse: hits=%d misses=%d, want 3/1", h, m)
+	}
+	o.Field(mesh.C(0, 0)) // new source
+	if h, m := o.Stats(); h != 3 || m != 2 {
+		t.Fatalf("after second source: hits=%d misses=%d, want 3/2", h, m)
+	}
+}

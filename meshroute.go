@@ -29,13 +29,24 @@
 //     per-pair BFS oracle on hot paths.
 //   - Failures wrap the typed taxonomy of errors.go (ErrOutsideMesh,
 //     ErrFaultyEndpoint, ErrUnreachable, *ErrAborted, ErrCanceled,
-//     ErrInvalidFaultCount) — dispatch with errors.Is / errors.As.
+//     ErrInvalidFaultCount, ErrNotAdjacent) — dispatch with errors.Is /
+//     errors.As. Each taxonomy error also has a stable wire code
+//     (ErrorCode, the Code* constants) that network layers exchange
+//     instead of Go error values.
 //   - Fault changes go through the atomic transaction API Apply: all edits
 //     of one transaction publish as exactly one engine snapshot, and a
 //     failed transaction publishes nothing.
 //
 // The pre-v1 methods (RouteLegacy, RouteBatchLegacy, and the single-edit
 // mutators) remain as thin shims over the same machinery.
+//
+// # Serving
+//
+// The library is served over HTTP by cmd/meshd (wire protocol in
+// internal/server): a multi-mesh registry where each mesh is one Network,
+// route and streaming-batch endpoints, and fault transactions mapping
+// onto Apply. NewWithEngineOptions plumbs serving concerns — a metrics
+// hook, the oracle-cache bound — into the engine underneath a Network.
 //
 // # Concurrency
 //
@@ -115,9 +126,16 @@ type Network struct {
 }
 
 // New returns a fault-free W x H mesh network.
-func New(w, h int) *Network {
+func New(w, h int) *Network { return NewWithEngineOptions(w, h, engine.Options{}) }
+
+// NewWithEngineOptions returns a fault-free W x H network whose engine is
+// configured with opts: serving layers use it to plumb a metrics hook
+// (engine.Options.Metrics), bound the oracle cache (OracleBound), or
+// narrow the precomputed information models (Models). opts.Routing.Rng
+// and opts.Routing.Scratch must be nil, as for engine.New.
+func NewWithEngineOptions(w, h int, opts engine.Options) *Network {
 	m := mesh.New(w, h)
-	n := &Network{m: m, router: engine.New(fault.NewSet(m), engine.Options{})}
+	n := &Network{m: m, router: engine.New(fault.NewSet(m), opts)}
 	n.opts.Store(&routing.Options{})
 	return n
 }
@@ -172,6 +190,13 @@ type RouteResponse struct {
 	Phases int
 	// DetourHops counts hops taken in wall-following detour mode.
 	DetourHops int
+	// WallFlips counts orbit-livelock recoveries: forced flips of the
+	// detour wall side after revisiting the same node too often.
+	WallFlips int
+	// Downgraded reports that a detour downgraded its wall from the
+	// MCC-region boundary to the physical (faulty-only) boundary — the
+	// escape hatch for sources enclosed by unsafe nodes.
+	Downgraded bool
 	// SnapshotVersion identifies the engine snapshot that served the
 	// request (monotone across fault publications).
 	SnapshotVersion uint64
@@ -212,6 +237,7 @@ func finishResponse(snap *engine.Snapshot, cfg routeConfig, s, d Coord, res engi
 		return RouteResponse{}, &ErrAborted{
 			Algorithm: cfg.algo, Src: s, Dst: d,
 			Reason: res.Abort, Hops: len(res.Path) - 1, Path: res.Path,
+			WallFlips: res.WallFlips, Downgraded: res.Downgraded,
 		}
 	}
 	resp := RouteResponse{
@@ -219,6 +245,8 @@ func finishResponse(snap *engine.Snapshot, cfg routeConfig, s, d Coord, res engi
 		Hops:            res.Hops,
 		Phases:          res.Phases,
 		DetourHops:      res.DetourHops,
+		WallFlips:       res.WallFlips,
+		Downgraded:      res.Downgraded,
 		SnapshotVersion: res.Version,
 	}
 	if cfg.oracle {
