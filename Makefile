@@ -19,7 +19,7 @@ BENCH_TIME ?= 50x
 # benchstat baseline ref for bench-compare.
 BENCH_BASE ?= origin/main
 
-.PHONY: all build vet fmt-check staticcheck test test-examples race bench-smoke bench-json bench-compare serve loadgen smoke check
+.PHONY: all build vet fmt-check staticcheck test test-examples race bench-smoke bench-json bench-compare serve loadgen smoke fuzz-smoke recover-smoke check
 
 all: check
 
@@ -120,4 +120,52 @@ smoke:
 	kill -TERM $$pid 2>/dev/null || true; wait $$pid || status=1; \
 	rm -rf $$tmp; exit $$status
 
-check: fmt-check vet build staticcheck test test-examples race bench-smoke
+# Native Go fuzz smoke over the journal's frame decoder: corrupt and
+# truncated WAL records must error, never panic — the property crash
+# recovery stands on. FUZZTIME bounds the run (CI uses a short burst).
+FUZZTIME ?= 5s
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodeRecord$$' -fuzztime $(FUZZTIME) ./internal/journal
+
+# Crash-recovery smoke (CI gate): boot meshd with a -data-dir, commit
+# fault transactions over two meshes via curl, SIGKILL the daemon, boot a
+# second one from the same directory, and require byte-identical mesh
+# info (fault count + snapshot version) and fault listings.
+recover-smoke:
+	@set -e; tmp=$$(mktemp -d); status=1; \
+	$(GO) build -o $$tmp/meshd ./cmd/meshd; \
+	$$tmp/meshd -addr 127.0.0.1:0 -addr-file $$tmp/addr -data-dir $$tmp/data -checkpoint-every 4 & pid=$$!; \
+	for i in $$(seq 1 100); do [ -s $$tmp/addr ] && break; sleep 0.1; done; \
+	if [ -s $$tmp/addr ]; then \
+		addr=$$(cat $$tmp/addr); \
+		curl -sf -X POST http://$$addr/v1/meshes -d '{"name":"m1","width":16,"height":16}' >/dev/null; \
+		curl -sf -X POST http://$$addr/v1/meshes -d '{"name":"m2","width":8,"height":24}' >/dev/null; \
+		for i in 1 2 3 4 5 6; do \
+			curl -sf -X POST http://$$addr/v1/meshes/m1/faults -d "{\"ops\":[{\"op\":\"add\",\"at\":{\"x\":$$i,\"y\":$$i}}]}" >/dev/null; \
+		done; \
+		curl -sf -X POST http://$$addr/v1/meshes/m2/faults -d '{"ops":[{"op":"inject_random","count":20,"seed":9}]}' >/dev/null; \
+		for m in m1 m2; do \
+			curl -sf http://$$addr/v1/meshes/$$m > $$tmp/before_$$m; \
+			curl -sf http://$$addr/v1/meshes/$$m/faults > $$tmp/before_faults_$$m; \
+		done; \
+		kill -9 $$pid 2>/dev/null; wait $$pid 2>/dev/null || true; \
+		rm -f $$tmp/addr; \
+		$$tmp/meshd -addr 127.0.0.1:0 -addr-file $$tmp/addr -data-dir $$tmp/data -checkpoint-every 4 & pid=$$!; \
+		for i in $$(seq 1 100); do [ -s $$tmp/addr ] && break; sleep 0.1; done; \
+		addr=$$(cat $$tmp/addr); status=0; \
+		for m in m1 m2; do \
+			curl -sf http://$$addr/v1/meshes/$$m > $$tmp/after_$$m || status=1; \
+			curl -sf http://$$addr/v1/meshes/$$m/faults > $$tmp/after_faults_$$m || status=1; \
+			if cmp -s $$tmp/before_$$m $$tmp/after_$$m && cmp -s $$tmp/before_faults_$$m $$tmp/after_faults_$$m; then \
+				echo "recover-smoke: $$m identical after kill -9: $$(cat $$tmp/after_$$m)"; \
+			else \
+				echo "recover-smoke: $$m MISMATCH"; \
+				diff $$tmp/before_$$m $$tmp/after_$$m || true; \
+				diff $$tmp/before_faults_$$m $$tmp/after_faults_$$m || true; status=1; \
+			fi; \
+		done; \
+	else echo "meshd did not start"; fi; \
+	kill -TERM $$pid 2>/dev/null || true; wait $$pid 2>/dev/null || true; \
+	rm -rf $$tmp; exit $$status
+
+check: fmt-check vet build staticcheck test test-examples race bench-smoke fuzz-smoke

@@ -7,13 +7,22 @@
 //
 //	meshd [-addr 127.0.0.1:8080] [-addr-file path] [-drain 10s] \
 //	      [-max-nodes N] [-max-meshes N] [-max-batch-pairs N] \
-//	      [-oracle-bound N]
+//	      [-oracle-bound N] \
+//	      [-data-dir dir] [-fsync always|none|100ms] [-checkpoint-every N]
+//
+// With -data-dir, mesh state is durable: every committed fault
+// transaction is journaled (internal/journal) under <dir>/<mesh>, and on
+// boot the registry is recovered — every mesh comes back with its exact
+// pre-crash fault set and snapshot version, even after kill -9. -fsync
+// picks the durability policy (fsync per transaction, a background
+// flush interval, or none) and -checkpoint-every the WAL compaction
+// cadence.
 //
 // On SIGINT/SIGTERM the daemon drains gracefully: the listener stops
 // accepting, /healthz flips to 503, and in-flight requests get the drain
-// grace period to finish; batches still streaming when it expires are
-// aborted via context cause and terminate their NDJSON streams with a
-// CANCELED stream_error line.
+// grace period to finish; batches and watch streams still open when it
+// expires are aborted via context cause and terminate their NDJSON
+// streams with a CANCELED stream_error line.
 package main
 
 import (
@@ -30,6 +39,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/journal"
 	"repro/internal/server"
 )
 
@@ -41,14 +51,35 @@ func main() {
 	maxMeshes := flag.Int("max-meshes", server.DefaultMaxMeshes, "registry size cap")
 	maxBatchPairs := flag.Int("max-batch-pairs", server.DefaultMaxBatchPairs, "per-request batch pair cap")
 	oracleBound := flag.Int("oracle-bound", 0, "cached BFS distance fields per snapshot (0 = engine default)")
+	dataDir := flag.String("data-dir", "", "journal mesh state here and recover it on boot (empty = memory only)")
+	fsync := flag.String("fsync", "always", "journal durability: always, none, or a flush interval like 100ms")
+	checkpointEvery := flag.Int("checkpoint-every", journal.DefaultCheckpointEvery, "compact each mesh journal after this many records")
 	flag.Parse()
+
+	policy, every, err := journal.ParseFsync(*fsync)
+	if err != nil {
+		log.Fatalf("meshd: -fsync: %v", err)
+	}
 
 	srv := server.New(server.Config{
 		MaxNodes:      *maxNodes,
 		MaxMeshes:     *maxMeshes,
 		MaxBatchPairs: *maxBatchPairs,
 		OracleBound:   *oracleBound,
+		DataDir:       *dataDir,
+		Journal: journal.Options{
+			Fsync:           policy,
+			FsyncEvery:      every,
+			CheckpointEvery: *checkpointEvery,
+		},
 	})
+	if *dataDir != "" {
+		n, err := srv.Recover()
+		if err != nil {
+			log.Fatalf("meshd: recover %s: %v", *dataDir, err)
+		}
+		log.Printf("meshd: recovered %d mesh(es) from %s (fsync %s)", n, *dataDir, policy)
+	}
 
 	mux := http.NewServeMux()
 	mux.Handle("/", srv.Handler())

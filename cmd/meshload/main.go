@@ -8,12 +8,19 @@
 // response leaks outside the documented taxonomy (5xx, transport
 // failures, unknown codes) — which makes it the CI smoke gate.
 //
+// With -journal, the churn source is a recorded transaction log instead
+// of random injection: the target mesh is created with the recording's
+// dimensions and checkpoint fault set, and every journaled transaction
+// is re-applied (as an atomic add/repair POST) in its original order —
+// so state recovered from a meshd -data-dir can be load-tested against
+// the exact fault history of the original run.
+//
 // Usage:
 //
 //	meshload -addr 127.0.0.1:8080 [-mesh load] [-n 32] [-faults 60] \
 //	         [-seed 1] [-requests 1000] [-duration 0] [-rate 0] \
 //	         [-workers 16] [-oracle] [-algo rb2] \
-//	         [-churn 0] [-churn-faults -1] [-keep]
+//	         [-churn 0] [-churn-faults -1] [-journal dir] [-keep]
 package main
 
 import (
@@ -30,6 +37,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/journal"
 )
 
 // wire mirrors of the internal/server request/response bodies (meshload
@@ -90,8 +99,9 @@ func main() {
 	workers := flag.Int("workers", 16, "concurrent request workers")
 	oracle := flag.Bool("oracle", false, "request BFS oracle reports (off = serving hot path)")
 	algo := flag.String("algo", "rb2", "routing algorithm: ecube, rb1, rb2, rb3")
-	churn := flag.Duration("churn", 0, "apply a fault transaction every interval (0 = off)")
+	churn := flag.Duration("churn", 0, "apply a fault transaction every interval (0 = off; with -journal, 0 = replay back-to-back)")
 	churnFaults := flag.Int("churn-faults", -1, "faults per churn transaction (-1 = same as -faults)")
+	journalDir := flag.String("journal", "", "replay this recorded journal dir (a meshd -data-dir mesh subdirectory) as the churn source")
 	keep := flag.Bool("keep", false, "keep the mesh registered after the run")
 	flag.Parse()
 
@@ -117,6 +127,25 @@ func main() {
 		os.Exit(1)
 	}
 
+	// With -journal, the recording dictates geometry, the initial fault
+	// set, and the churn transactions.
+	width, height := *n, *n
+	var replay []journal.Record
+	var initial []map[string]any
+	if *journalDir != "" {
+		base, recs, err := journal.ReadBase(*journalDir)
+		if err != nil {
+			fail("read journal %s: %v", *journalDir, err)
+		}
+		width, height = base.Width, base.Height
+		replay = recs
+		for _, c := range base.Faults {
+			initial = append(initial, map[string]any{"op": "add", "at": map[string]any{"x": c.X, "y": c.Y}})
+		}
+		fmt.Printf("meshload: replaying %s: %dx%d mesh, %d checkpoint faults, %d recorded transactions\n",
+			*journalDir, width, height, len(base.Faults), len(recs))
+	}
+
 	// (Re)create the target mesh and seed its fault configuration.
 	del, err := http.NewRequest(http.MethodDelete, base+"/v1/meshes/"+*meshName, nil)
 	if err != nil {
@@ -128,19 +157,25 @@ func main() {
 		drainBody(resp)
 	}
 	status, body := post(client, base+"/v1/meshes",
-		map[string]any{"name": *meshName, "width": *n, "height": *n})
+		map[string]any{"name": *meshName, "width": width, "height": height})
 	if status != http.StatusCreated {
 		fail("create mesh: HTTP %d: %s", status, body)
 	}
-	status, body = post(client, base+"/v1/meshes/"+*meshName+"/faults",
-		map[string]any{"ops": []map[string]any{{"op": "inject_random", "count": *faults, "seed": *seed}}})
-	if status != http.StatusOK {
-		fail("inject faults: HTTP %d: %s", status, body)
+	if *journalDir == "" {
+		initial = []map[string]any{{"op": "inject_random", "count": *faults, "seed": *seed}}
+	}
+	if len(initial) > 0 {
+		status, body = post(client, base+"/v1/meshes/"+*meshName+"/faults",
+			map[string]any{"ops": initial})
+		if status != http.StatusOK {
+			fail("seed faults: HTTP %d: %s", status, body)
+		}
 	}
 
 	routeURL := base + "/v1/meshes/" + *meshName + "/route"
 	t := &tally{byCode: make(map[string]int)}
 	var sent atomic.Int64
+	var replayAttempted atomic.Int64
 
 	// Open loop: arrivals tick at -rate into a deep buffer so a slow
 	// server grows the queue instead of slowing the arrival process.
@@ -185,7 +220,58 @@ func main() {
 	// Fault churn: transactions land mid-run, forcing snapshot
 	// publications underneath the in-flight request stream.
 	churnDone := make(chan int, 1)
-	if *churn > 0 {
+	if *journalDir != "" {
+		// -journal owns the churn source even when the recording has no
+		// post-checkpoint tail: falling through to random injection would
+		// pollute the faithfully restored state.
+		// Journal replay: re-apply the recorded history in order, paced
+		// by -churn (0 = back-to-back). Each record becomes one atomic
+		// add/repair transaction, exactly as the original run committed it.
+		go func() {
+			txns := 0
+			defer func() { churnDone <- txns }()
+			var tick <-chan time.Time
+			if *churn > 0 {
+				ticker := time.NewTicker(*churn)
+				defer ticker.Stop()
+				tick = ticker.C
+			}
+			for _, rec := range replay {
+				replayAttempted.Add(1)
+				if tick != nil {
+					select {
+					case <-stop:
+						return
+					case <-tick:
+					}
+				} else {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+				}
+				var ops []map[string]any
+				for _, c := range rec.Adds {
+					ops = append(ops, map[string]any{"op": "add", "at": map[string]any{"x": c.X, "y": c.Y}})
+				}
+				for _, c := range rec.Repairs {
+					ops = append(ops, map[string]any{"op": "repair", "at": map[string]any{"x": c.X, "y": c.Y}})
+				}
+				if len(ops) == 0 {
+					replayAttempted.Add(-1)
+					continue // an empty-delta commit has no wire form
+				}
+				status, body := post(client, base+"/v1/meshes/"+*meshName+"/faults",
+					map[string]any{"ops": ops})
+				if status != http.StatusOK {
+					fmt.Fprintf(os.Stderr, "meshload: replay transaction v%d: HTTP %d: %s\n", rec.Version, status, body)
+					continue
+				}
+				txns++
+			}
+		}()
+	} else if *churn > 0 {
 		go func() {
 			txns := 0
 			ticker := time.NewTicker(*churn)
@@ -225,8 +311,8 @@ func main() {
 				default:
 				}
 				req := routeRequest{
-					Src:       coord{X: rng.Intn(*n), Y: rng.Intn(*n)},
-					Dst:       coord{X: rng.Intn(*n), Y: rng.Intn(*n)},
+					Src:       coord{X: rng.Intn(width), Y: rng.Intn(height)},
+					Dst:       coord{X: rng.Intn(width), Y: rng.Intn(height)},
 					Algorithm: *algo,
 					NoOracle:  !*oracle,
 				}
@@ -262,6 +348,22 @@ func main() {
 	halt()
 	elapsed := time.Since(start)
 	txns := <-churnDone
+	if replayable := countReplayable(replay); replayable > 0 {
+		// Distinguish "ran out of request budget" (the loop never reached
+		// the tail) from "the server rejected some records" — the advice
+		// differs.
+		attempted := int(replayAttempted.Load())
+		if attempted < replayable {
+			fmt.Fprintf(os.Stderr,
+				"meshload: warning: replay stopped early: %d of %d recorded transactions attempted (raise -requests/-duration or lower -churn)\n",
+				attempted, replayable)
+		}
+		if txns < attempted {
+			fmt.Fprintf(os.Stderr,
+				"meshload: warning: %d of %d attempted replay transactions were rejected by the server (see errors above)\n",
+				attempted-txns, attempted)
+		}
+	}
 
 	if !*keep {
 		if req, err := http.NewRequest(http.MethodDelete, base+"/v1/meshes/"+*meshName, nil); err == nil {
@@ -307,6 +409,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, "meshload: FAIL: no request delivered")
 		os.Exit(1)
 	}
+}
+
+// countReplayable counts the records of a recording that have a wire
+// form (empty-delta commits are skipped by the replayer).
+func countReplayable(recs []journal.Record) int {
+	n := 0
+	for _, rec := range recs {
+		if len(rec.Adds)+len(rec.Repairs) > 0 {
+			n++
+		}
+	}
+	return n
 }
 
 // post sends one JSON POST and returns the status and body.

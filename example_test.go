@@ -128,3 +128,38 @@ func Example_typedErrors() {
 	// true UNREACHABLE
 	// walled in 0 true ABORTED
 }
+
+// Example_watch demonstrates the fault-event stream: a Watch delivers
+// every committed transaction as one ordered event carrying the snapshot
+// version and the exact add/repair delta — the same feed meshd serves
+// over GET /v1/meshes/{name}/watch.
+func Example_watch() {
+	ctx := context.Background()
+	net := meshroute.NewSquare(8)
+	w := net.Watch(ctx)
+	defer w.Close()
+
+	// Two transactions: one multi-edit commit, one repair.
+	if err := net.Apply(func(tx *meshroute.Tx) error {
+		if err := tx.AddFault(meshroute.C(2, 2)); err != nil {
+			return err
+		}
+		return tx.AddFault(meshroute.C(3, 3))
+	}); err != nil {
+		panic(err)
+	}
+	if err := net.RepairFault(meshroute.C(2, 2)); err != nil {
+		panic(err)
+	}
+
+	for i := 0; i < 2; i++ {
+		ev, err := w.Next(ctx)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("v%d adds=%v repairs=%v\n", ev.Version, ev.Adds, ev.Repairs)
+	}
+	// Output:
+	// v2 adds=[(2,2) (3,3)] repairs=[]
+	// v3 adds=[] repairs=[(2,2)]
+}

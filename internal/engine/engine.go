@@ -145,6 +145,39 @@ type Options struct {
 	// Metrics, when non-nil, observes every routed walk (Route and each
 	// batch item) on every snapshot the router publishes. See Metrics.
 	Metrics Metrics
+	// OnPublish, when non-nil, observes every snapshot publication (Swap
+	// and Update, not the initial snapshot of New): it receives the new
+	// snapshot's version and the fault delta against the previous snapshot.
+	// The hook runs synchronously inside the writer critical section, so
+	// invocations are strictly version-ordered with no gaps — the property
+	// journaling and change notification build on. It therefore must not
+	// call back into the Router's writer methods (Swap and Update would
+	// self-deadlock) and should return quickly: readers are never blocked
+	// by it, but the next writer is.
+	OnPublish func(version uint64, delta Delta)
+	// OnPublishNeeded, when non-nil, gates OnPublish per publication: the
+	// O(nodes) delta diff (and the hook call) are skipped when it returns
+	// false. The facade uses it to elide delta computation on networks
+	// with no journal and no live watchers; a publication skipped this
+	// way is NOT delivered later, so gates must only return false when no
+	// observer exists.
+	OnPublishNeeded func() bool
+	// StartVersion seeds the publication counter: the initial snapshot of
+	// New publishes as version StartVersion (0 means 1, the default).
+	// Recovery layers use it to rebuild a router to its exact pre-crash
+	// snapshot version, so replayed state and freshly served versions form
+	// one monotone sequence.
+	StartVersion uint64
+}
+
+// Delta is the fault transition published with one snapshot: the nodes
+// that became faulty and the nodes that were repaired relative to the
+// previously published snapshot, both in row-major order (fault.Diff).
+// OnPublish observers must treat the slices as read-only — they are
+// shared with every other observer of the same publication.
+type Delta struct {
+	Adds    []mesh.Coord
+	Repairs []mesh.Coord
 }
 
 // Metrics is the engine's serving-side counters hook. A non-nil
@@ -187,6 +220,9 @@ func New(f *fault.Set, opts Options) *Router {
 		panic("engine: Options.Routing.Scratch must be nil (it would race across goroutines; the engine pools scratches per snapshot itself)")
 	}
 	r := &Router{opts: opts}
+	if opts.StartVersion > 0 {
+		r.vers.Store(opts.StartVersion - 1)
+	}
 	s := NewSnapshot(f, opts)
 	s.version = r.vers.Add(1)
 	r.snap.Store(s)
@@ -212,10 +248,22 @@ func (r *Router) Mesh() mesh.Mesh { return r.Snapshot().analysis.Mesh() }
 func (r *Router) Swap(f *fault.Set) *Snapshot {
 	s := NewSnapshot(f, r.opts)
 	r.mu.Lock()
-	s.version = r.vers.Add(1)
-	r.snap.Store(s)
+	r.publishLocked(s)
 	r.mu.Unlock()
 	return s
+}
+
+// publishLocked assigns the next version, stores the snapshot, and fires
+// OnPublish with the delta against the outgoing snapshot. Callers hold
+// r.mu, so hook invocations are strictly version-ordered.
+func (r *Router) publishLocked(s *Snapshot) {
+	old := r.snap.Load()
+	s.version = r.vers.Add(1)
+	r.snap.Store(s)
+	if r.opts.OnPublish != nil && (r.opts.OnPublishNeeded == nil || r.opts.OnPublishNeeded()) {
+		adds, repairs := fault.Diff(old.faults, s.faults)
+		r.opts.OnPublish(s.version, Delta{Adds: adds, Repairs: repairs})
+	}
 }
 
 // Update clones the current fault set, applies mutate to the clone, and
@@ -227,8 +275,7 @@ func (r *Router) Update(mutate func(*fault.Set)) *Snapshot {
 	next := r.snap.Load().faults.Clone()
 	mutate(next)
 	s := NewSnapshot(next, r.opts) // NewSnapshot clones again; harmless
-	s.version = r.vers.Add(1)
-	r.snap.Store(s)
+	r.publishLocked(s)
 	return s
 }
 

@@ -132,6 +132,27 @@ func (s *Set) Connected() bool {
 	return seen == total
 }
 
+// Diff compares two fault sets over the same mesh and returns the
+// transition from prev to next: adds are the nodes faulty in next but not
+// prev, repairs the nodes healed between them. Both slices come back in
+// row-major order, so a diff is deterministic for a given pair of sets —
+// the property journaling and change notification rely on. Diff panics if
+// the sets are defined over different meshes.
+func Diff(prev, next *Set) (adds, repairs []mesh.Coord) {
+	if prev.m != next.m {
+		panic(fmt.Sprintf("fault: Diff across meshes %v and %v", prev.m, next.m))
+	}
+	for idx := range next.faulty {
+		switch {
+		case next.faulty[idx] && !prev.faulty[idx]:
+			adds = append(adds, next.m.CoordOf(idx))
+		case !next.faulty[idx] && prev.faulty[idx]:
+			repairs = append(repairs, next.m.CoordOf(idx))
+		}
+	}
+	return adds, repairs
+}
+
 // String summarizes the set for logs.
 func (s *Set) String() string {
 	return fmt.Sprintf("%d faults on %v", s.count, s.m)

@@ -1,0 +1,91 @@
+package journal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Wire framing: every record on disk — WAL entries and the checkpoint —
+// is one self-verifying frame:
+//
+//	offset 0: uint32 big-endian payload length
+//	offset 4: uint32 big-endian CRC-32 (IEEE) of the payload
+//	offset 8: payload (JSON)
+//
+// A frame whose length field exceeds maxFramePayload, whose bytes run
+// out early, or whose CRC does not match decodes to an error, never a
+// panic — recovery treats a bad trailing frame as a torn append and a
+// fuzz target (FuzzDecodeRecord) locks the no-panic property.
+
+// maxFramePayload caps a frame's declared payload size. The largest
+// legitimate payload is a checkpoint of a fully faulted maximum mesh,
+// well under this; anything bigger is corruption, and the cap keeps a
+// corrupt length field from driving a huge allocation.
+const maxFramePayload = 1 << 26 // 64 MiB
+
+// frameHeaderLen is the fixed frame prefix: length + CRC.
+const frameHeaderLen = 8
+
+// ErrCorrupt reports a frame that failed content validation: an
+// oversized length field, a CRC mismatch on a fully present payload, or
+// undecodable JSON. Corruption is surfaced, never silently skipped —
+// acknowledged records must not vanish.
+var ErrCorrupt = errors.New("journal: corrupt frame")
+
+// ErrTruncated reports a frame whose BYTES run out: a header fragment or
+// a payload shorter than its intact header declares. That is the
+// signature of an append torn by a crash (each record is one write, so a
+// partial write can only produce a prefix) — recovery discards it,
+// because its transaction was never acknowledged. ErrTruncated wraps
+// ErrCorrupt, so callers that only care about "bad frame" match both.
+var ErrTruncated = fmt.Errorf("%w: truncated", ErrCorrupt)
+
+// appendFrame appends one framed payload to buf and returns the result.
+func appendFrame(buf, payload []byte) []byte {
+	var hdr [frameHeaderLen]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	buf = append(buf, hdr[:]...)
+	return append(buf, payload...)
+}
+
+// decodeFrame decodes the frame at the start of b, returning the payload
+// and the remaining bytes. io.EOF-like clean exhaustion is signaled by
+// calling it only while len(b) > 0. Malformed prefixes split into
+// ErrTruncated (bytes ran out — a torn append) and plain ErrCorrupt
+// (present but invalid content).
+func decodeFrame(b []byte) (payload, rest []byte, err error) {
+	if len(b) < frameHeaderLen {
+		return nil, nil, fmt.Errorf("%w: %d-byte trailing fragment", ErrTruncated, len(b))
+	}
+	n := binary.BigEndian.Uint32(b[0:4])
+	if n > maxFramePayload {
+		return nil, nil, fmt.Errorf("%w: payload length %d exceeds cap %d", ErrCorrupt, n, maxFramePayload)
+	}
+	if uint64(len(b)-frameHeaderLen) < uint64(n) {
+		return nil, nil, fmt.Errorf("%w: payload short (%d of %d bytes)", ErrTruncated, len(b)-frameHeaderLen, n)
+	}
+	payload = b[frameHeaderLen : frameHeaderLen+int(n)]
+	if got, want := crc32.ChecksumIEEE(payload), binary.BigEndian.Uint32(b[4:8]); got != want {
+		return nil, nil, fmt.Errorf("%w: CRC mismatch (got %08x, want %08x)", ErrCorrupt, got, want)
+	}
+	return payload, b[frameHeaderLen+int(n):], nil
+}
+
+// DecodeRecord decodes one framed WAL record from the start of b and
+// returns the remaining bytes. Corrupt or truncated input errors; it
+// never panics (FuzzDecodeRecord).
+func DecodeRecord(b []byte) (Record, []byte, error) {
+	payload, rest, err := decodeFrame(b)
+	if err != nil {
+		return Record{}, nil, err
+	}
+	var rec Record
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return Record{}, nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return rec, rest, nil
+}

@@ -1,0 +1,666 @@
+// Package journal makes mesh fault state durable: a per-mesh write-ahead
+// log of committed fault transactions with CRC-framed records, a
+// configurable fsync policy, periodic checkpoint compaction, and
+// deterministic crash recovery.
+//
+// # Layout
+//
+// One journal owns one directory holding exactly two files:
+//
+//	checkpoint.db   one framed JSON checkpoint: mesh dimensions, the
+//	                full fault set, and the snapshot version it captures
+//	wal.log         framed JSON records, one per committed transaction
+//	                (snapshot version + add/repair delta), all with
+//	                versions > the checkpoint's
+//
+// Every Append carries the next snapshot version in sequence — the
+// caller feeds it from engine.Options.OnPublish, whose invocations are
+// strictly version-ordered — so a journal's on-disk history is exactly
+// the network's publication history. Every CheckpointEvery records the
+// journal compacts: it writes the materialized fault set to a temporary
+// file, fsyncs, atomically renames it over checkpoint.db, and truncates
+// the WAL. A crash between those two steps leaves stale records (version
+// <= checkpoint) in the WAL; recovery skips them.
+//
+// # Recovery
+//
+// Read (and Open, which also reopens the files for appending) replays
+// checkpoint + WAL into the exact pre-crash state: the fault set and the
+// snapshot version the mesh last published. A torn final frame — the
+// signature of a crash mid-append — is discarded (its transaction never
+// acknowledged); any corruption earlier in the sequence errors. Open
+// truncates the torn tail so subsequent appends extend a valid log.
+//
+// # Durability
+//
+// FsyncAlways (the default) fsyncs the WAL inside every Append: when a
+// fault transaction is acknowledged, it is on stable storage.
+// FsyncInterval trades the tail of the log for throughput: a background
+// flusher fsyncs every Options.FsyncEvery. FsyncNone leaves persistence
+// to the OS page cache.
+package journal
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/mesh"
+)
+
+// The journal's two files; see the package comment for the layout.
+const (
+	checkpointFile = "checkpoint.db"
+	walFile        = "wal.log"
+)
+
+// ErrClosed reports an operation on a closed journal.
+var ErrClosed = errors.New("journal: closed")
+
+// Policy selects when WAL appends reach stable storage.
+type Policy int
+
+const (
+	// FsyncAlways fsyncs inside every Append: an acknowledged
+	// transaction is durable. The default.
+	FsyncAlways Policy = iota
+	// FsyncInterval fsyncs from a background flusher every
+	// Options.FsyncEvery: bounded data loss, amortized cost.
+	FsyncInterval
+	// FsyncNone never fsyncs; the OS decides. Fastest, weakest.
+	FsyncNone
+)
+
+// String renders the policy in its flag spelling.
+func (p Policy) String() string {
+	switch p {
+	case FsyncAlways:
+		return "always"
+	case FsyncInterval:
+		return "interval"
+	case FsyncNone:
+		return "none"
+	}
+	return fmt.Sprintf("Policy(%d)", int(p))
+}
+
+// ParseFsync maps a -fsync flag value to a policy: "always", "none", or
+// a duration (e.g. "100ms") selecting FsyncInterval at that period.
+func ParseFsync(s string) (Policy, time.Duration, error) {
+	switch s {
+	case "always", "":
+		return FsyncAlways, 0, nil
+	case "none":
+		return FsyncNone, 0, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil || d <= 0 {
+		return FsyncAlways, 0, fmt.Errorf("journal: fsync policy %q: want always, none, or a positive duration", s)
+	}
+	return FsyncInterval, d, nil
+}
+
+// Options tune a journal. The zero value is usable: fsync on every
+// append, checkpoint every DefaultCheckpointEvery records.
+type Options struct {
+	// Fsync selects the durability policy (default FsyncAlways).
+	Fsync Policy
+	// FsyncEvery is the FsyncInterval flush period (<= 0 means 100ms).
+	FsyncEvery time.Duration
+	// CheckpointEvery compacts the WAL after this many records
+	// (<= 0 means DefaultCheckpointEvery).
+	CheckpointEvery int
+}
+
+// DefaultCheckpointEvery is the compaction interval when
+// Options.CheckpointEvery is unset.
+const DefaultCheckpointEvery = 256
+
+func (o Options) withDefaults() Options {
+	if o.FsyncEvery <= 0 {
+		o.FsyncEvery = 100 * time.Millisecond
+	}
+	if o.CheckpointEvery <= 0 {
+		o.CheckpointEvery = DefaultCheckpointEvery
+	}
+	return o
+}
+
+// Record is one committed fault transaction: the snapshot version it
+// published and the add/repair delta against the previous snapshot, in
+// row-major order (fault.Diff).
+type Record struct {
+	Version uint64       `json:"version"`
+	Adds    []mesh.Coord `json:"adds,omitempty"`
+	Repairs []mesh.Coord `json:"repairs,omitempty"`
+}
+
+// checkpoint is the framed payload of checkpoint.db.
+type checkpoint struct {
+	Width   int          `json:"width"`
+	Height  int          `json:"height"`
+	Version uint64       `json:"version"`
+	Faults  []mesh.Coord `json:"faults,omitempty"`
+}
+
+// State is a recovered mesh state: the dimensions, the full fault set
+// (row-major), and the snapshot version it was published as.
+type State struct {
+	Width, Height int
+	Version       uint64
+	Faults        []mesh.Coord
+}
+
+// Stats is a point-in-time snapshot of a journal's gauges.
+type Stats struct {
+	// Version is the last journaled snapshot version.
+	Version uint64
+	// Records counts appends since the journal was opened.
+	Records uint64
+	// Checkpoints counts compactions since the journal was opened.
+	Checkpoints uint64
+	// Errors counts append/compaction/flush failures (the first also
+	// latches as the sticky error returned by Err).
+	Errors uint64
+	// SinceCheckpoint counts WAL records not yet compacted — the
+	// resume window TailAfter can serve.
+	SinceCheckpoint int
+}
+
+// Journal is an append-only fault-transaction log over one directory.
+// Safe for concurrent use; appends are serialized internally (and in
+// practice already serialized by the engine's writer mutex when fed from
+// OnPublish).
+type Journal struct {
+	dir  string
+	opts Options
+
+	mu      sync.Mutex
+	wal     *os.File
+	state   *fault.Set // materialized fault set, for cutting checkpoints
+	version uint64
+	recent  []Record // records since the last checkpoint, oldest first
+	closed  bool
+	err     error // sticky first failure
+	stop    chan struct{}
+	done    chan struct{}
+
+	records, checkpoints, errs uint64
+}
+
+// applyRecord replays one record onto a materialized fault set,
+// bounds-checking every coordinate (records can come off a disk).
+func applyRecord(f *fault.Set, rec Record) error {
+	m := f.Mesh()
+	for _, c := range rec.Adds {
+		if !m.In(c) {
+			return fmt.Errorf("journal: add %v outside %v", c, m)
+		}
+		f.Add(c)
+	}
+	for _, c := range rec.Repairs {
+		if !m.In(c) {
+			return fmt.Errorf("journal: repair %v outside %v", c, m)
+		}
+		f.Remove(c)
+	}
+	return nil
+}
+
+// Create initializes a new journal directory for a fault-free W x H mesh
+// whose engine publishes its initial snapshot as version 1 (the
+// engine.New default). It fails if dir already exists — the caller
+// resolves whether that means "recover instead" (Open) or "duplicate".
+func Create(dir string, w, h int, opts Options) (*Journal, error) {
+	if w < 1 || h < 1 {
+		return nil, fmt.Errorf("journal: invalid dimensions %dx%d", w, h)
+	}
+	if err := os.Mkdir(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("journal: create %s: %w", dir, err)
+	}
+	j := &Journal{dir: dir, opts: opts.withDefaults(), state: fault.NewSet(mesh.New(w, h)), version: 1}
+	if err := j.writeCheckpointFile(checkpoint{Width: w, Height: h, Version: 1}); err != nil {
+		_ = os.RemoveAll(dir) // withdraw the half-created dir: nothing acknowledged yet
+		return nil, err
+	}
+	if err := j.openWAL(0); err != nil {
+		_ = os.RemoveAll(dir)
+		return nil, err
+	}
+	j.startFlusher()
+	return j, nil
+}
+
+// Abandoned reports whether dir is a half-created journal: no checkpoint
+// and no WAL bytes — the crash window of Create before any transaction
+// could have been acknowledged (the WAL is only created after the
+// initial checkpoint lands). Such a directory is safe to Remove;
+// recovery layers use this to keep one interrupted create from bricking
+// every boot.
+func Abandoned(dir string) bool {
+	if _, err := os.Stat(filepath.Join(dir, checkpointFile)); !os.IsNotExist(err) {
+		return false
+	}
+	fi, err := os.Stat(filepath.Join(dir, walFile))
+	return os.IsNotExist(err) || (err == nil && fi.Size() == 0)
+}
+
+// Open recovers the journal in dir and reopens it for appending,
+// returning the recovered state (see Read). A torn final WAL frame is
+// truncated away so later appends extend a valid log.
+func Open(dir string, opts Options) (*Journal, *State, error) {
+	_, st, recs, valid, err := read(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	j := &Journal{
+		dir:     dir,
+		opts:    opts.withDefaults(),
+		state:   fault.NewSet(mesh.New(st.Width, st.Height)),
+		version: st.Version,
+		recent:  recs,
+	}
+	for _, c := range st.Faults {
+		j.state.Add(c)
+	}
+	if err := j.openWAL(valid); err != nil {
+		return nil, nil, err
+	}
+	j.startFlusher()
+	return j, st, nil
+}
+
+// Read recovers the state recorded in dir without opening it for
+// appending: the checkpoint plus every decodable WAL record, and the
+// post-checkpoint records themselves (for replay tooling). Safe to call
+// on a directory another process (or a live Journal) is appending to —
+// it sees some durable prefix.
+func Read(dir string) (*State, []Record, error) {
+	_, st, recs, _, err := read(dir)
+	return st, recs, err
+}
+
+// ReadBase recovers the checkpoint state WITHOUT the WAL tail applied,
+// plus the tail records: seeding the base and re-applying the records in
+// order reproduces Read's final state transaction by transaction — the
+// form replay tooling (meshload -journal) wants.
+func ReadBase(dir string) (*State, []Record, error) {
+	base, _, recs, _, err := read(dir)
+	return base, recs, err
+}
+
+// read is Read plus the pre-tail base state and the byte offset of the
+// WAL's valid prefix. A live journal can checkpoint between our two
+// file reads — the stale checkpoint then pairs with a truncated,
+// further-along WAL, which shows up as the FIRST record jumping past
+// checkpoint+1. That is a race, not corruption: retry with a fresh
+// checkpoint (the documented some-durable-prefix guarantee for readers
+// of a live directory).
+func read(dir string) (*State, *State, []Record, int64, error) {
+	var lastErr error
+	for attempt := 0; attempt < 3; attempt++ {
+		base, st, recs, valid, raced, err := readOnce(dir)
+		if err == nil {
+			return base, st, recs, valid, nil
+		}
+		if !raced {
+			return nil, nil, nil, 0, err
+		}
+		lastErr = err
+	}
+	return nil, nil, nil, 0, lastErr
+}
+
+// readOnce performs one checkpoint+WAL read; raced flags the
+// stale-checkpoint signature above.
+func readOnce(dir string) (*State, *State, []Record, int64, bool, error) {
+	cpBytes, err := os.ReadFile(filepath.Join(dir, checkpointFile))
+	if err != nil {
+		return nil, nil, nil, 0, false, fmt.Errorf("journal: read checkpoint: %w", err)
+	}
+	payload, _, err := decodeFrame(cpBytes)
+	if err != nil {
+		return nil, nil, nil, 0, false, fmt.Errorf("journal: checkpoint: %w", err)
+	}
+	var cp checkpoint
+	if err := json.Unmarshal(payload, &cp); err != nil {
+		return nil, nil, nil, 0, false, fmt.Errorf("journal: checkpoint: %w: %v", ErrCorrupt, err)
+	}
+	if cp.Width < 1 || cp.Height < 1 || cp.Version < 1 {
+		return nil, nil, nil, 0, false, fmt.Errorf("journal: checkpoint: %w: bad geometry %dx%d v%d", ErrCorrupt, cp.Width, cp.Height, cp.Version)
+	}
+	state := fault.NewSet(mesh.New(cp.Width, cp.Height))
+	for _, c := range cp.Faults {
+		if !state.Mesh().In(c) {
+			return nil, nil, nil, 0, false, fmt.Errorf("journal: checkpoint: %w: fault %v outside %v", ErrCorrupt, c, state.Mesh())
+		}
+		state.Add(c)
+	}
+
+	base := &State{
+		Width:   cp.Width,
+		Height:  cp.Height,
+		Version: cp.Version,
+		Faults:  state.Coords(),
+	}
+
+	walBytes, err := os.ReadFile(filepath.Join(dir, walFile))
+	if err != nil && !os.IsNotExist(err) {
+		return nil, nil, nil, 0, false, fmt.Errorf("journal: read wal: %w", err)
+	}
+	version := cp.Version
+	var recs []Record
+	var valid int64
+	for rest := walBytes; len(rest) > 0; {
+		rec, next, err := DecodeRecord(rest)
+		if err != nil {
+			if errors.Is(err, ErrTruncated) {
+				// A torn tail — the crash signature of an append that
+				// never completed (and was never acknowledged). Recover
+				// the valid prefix; Open truncates the fragment away.
+				break
+			}
+			// Content corruption (CRC/length/JSON) of bytes that ARE
+			// present: the records beyond it were acknowledged durable,
+			// so silently dropping them is data loss. Surface it.
+			return nil, nil, nil, 0, false, fmt.Errorf("journal: wal: %w", err)
+		}
+		if rec.Version <= version {
+			// Stale record from a crash between checkpoint rename and
+			// WAL truncation; the checkpoint already contains it.
+			valid = int64(len(walBytes) - len(next))
+			rest = next
+			continue
+		}
+		if rec.Version != version+1 {
+			raced := len(recs) == 0 && rec.Version > version+1
+			return nil, nil, nil, 0, raced, fmt.Errorf("journal: wal: %w: version jumped %d -> %d", ErrCorrupt, version, rec.Version)
+		}
+		if err := applyRecord(state, rec); err != nil {
+			return nil, nil, nil, 0, false, fmt.Errorf("wal: %w", err)
+		}
+		version = rec.Version
+		recs = append(recs, rec)
+		valid = int64(len(walBytes) - len(next))
+		rest = next
+	}
+	return base, &State{
+		Width:   cp.Width,
+		Height:  cp.Height,
+		Version: version,
+		Faults:  state.Coords(),
+	}, recs, valid, false, nil
+}
+
+// openWAL opens the WAL for appending, truncated to its valid prefix.
+func (j *Journal) openWAL(valid int64) error {
+	f, err := os.OpenFile(filepath.Join(j.dir, walFile), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: open wal: %w", err)
+	}
+	if err := f.Truncate(valid); err != nil {
+		f.Close()
+		return fmt.Errorf("journal: truncate torn wal tail: %w", err)
+	}
+	if _, err := f.Seek(valid, 0); err != nil {
+		f.Close()
+		return fmt.Errorf("journal: seek wal: %w", err)
+	}
+	j.wal = f
+	return nil
+}
+
+// startFlusher launches the FsyncInterval background flusher.
+func (j *Journal) startFlusher() {
+	if j.opts.Fsync != FsyncInterval {
+		return
+	}
+	j.stop = make(chan struct{})
+	j.done = make(chan struct{})
+	go func() {
+		defer close(j.done)
+		t := time.NewTicker(j.opts.FsyncEvery)
+		defer t.Stop()
+		for {
+			select {
+			case <-j.stop:
+				return
+			case <-t.C:
+				j.mu.Lock()
+				if !j.closed && j.wal != nil {
+					if err := j.wal.Sync(); err != nil {
+						j.fail(err)
+					}
+				}
+				j.mu.Unlock()
+			}
+		}
+	}()
+}
+
+// fail latches the first failure; callers hold j.mu.
+func (j *Journal) fail(err error) error {
+	j.errs++
+	if j.err == nil {
+		j.err = err
+	}
+	return err
+}
+
+// Append journals one committed transaction. version must be exactly one
+// past the last journaled version — the invariant OnPublish feeding
+// guarantees — and the record is durable per the fsync policy when
+// Append returns. Failures are sticky: once an append fails, the journal
+// refuses further appends (Err reports the cause) rather than recording
+// a history with holes.
+func (j *Journal) Append(version uint64, adds, repairs []mesh.Coord) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return ErrClosed
+	}
+	if j.err != nil {
+		j.errs++
+		return j.err
+	}
+	if version != j.version+1 {
+		return j.fail(fmt.Errorf("journal: append version %d after %d (want %d)", version, j.version, j.version+1))
+	}
+	rec := Record{Version: version, Adds: adds, Repairs: repairs}
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return j.fail(fmt.Errorf("journal: encode record: %w", err))
+	}
+	if err := applyRecord(j.state, rec); err != nil {
+		return j.fail(err)
+	}
+	if _, err := j.wal.Write(appendFrame(nil, payload)); err != nil {
+		return j.fail(fmt.Errorf("journal: append: %w", err))
+	}
+	if j.opts.Fsync == FsyncAlways {
+		if err := j.wal.Sync(); err != nil {
+			return j.fail(fmt.Errorf("journal: fsync: %w", err))
+		}
+	}
+	j.version = version
+	j.records++
+	j.recent = append(j.recent, rec)
+	if len(j.recent) >= j.opts.CheckpointEvery {
+		if err := j.checkpointLocked(); err != nil {
+			return j.fail(err)
+		}
+	}
+	return nil
+}
+
+// Checkpoint forces a compaction: the materialized fault set replaces
+// the WAL. Normally automatic every Options.CheckpointEvery appends.
+func (j *Journal) Checkpoint() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return ErrClosed
+	}
+	if j.err != nil {
+		return j.err
+	}
+	if err := j.checkpointLocked(); err != nil {
+		return j.fail(err)
+	}
+	return nil
+}
+
+// checkpointLocked writes the checkpoint durably, then truncates the
+// WAL. Order matters: the rename (and directory fsync) must land before
+// truncation, so a crash between the two leaves stale-but-skippable
+// records, never a hole. Callers hold j.mu.
+func (j *Journal) checkpointLocked() error {
+	cp := checkpoint{
+		Width:   j.state.Mesh().Width(),
+		Height:  j.state.Mesh().Height(),
+		Version: j.version,
+		Faults:  j.state.Coords(),
+	}
+	if err := j.writeCheckpointFile(cp); err != nil {
+		return err
+	}
+	if err := j.wal.Truncate(0); err != nil {
+		return fmt.Errorf("journal: truncate wal: %w", err)
+	}
+	if _, err := j.wal.Seek(0, 0); err != nil {
+		return fmt.Errorf("journal: rewind wal: %w", err)
+	}
+	j.recent = nil
+	j.checkpoints++
+	return nil
+}
+
+// writeCheckpointFile durably replaces checkpoint.db: write to a
+// temporary file, fsync it, rename over the old checkpoint, fsync the
+// directory.
+func (j *Journal) writeCheckpointFile(cp checkpoint) error {
+	payload, err := json.Marshal(cp)
+	if err != nil {
+		return fmt.Errorf("journal: encode checkpoint: %w", err)
+	}
+	tmp := filepath.Join(j.dir, checkpointFile+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: checkpoint tmp: %w", err)
+	}
+	if _, err := f.Write(appendFrame(nil, payload)); err != nil {
+		f.Close()
+		return fmt.Errorf("journal: write checkpoint: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("journal: fsync checkpoint: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("journal: close checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(j.dir, checkpointFile)); err != nil {
+		return fmt.Errorf("journal: publish checkpoint: %w", err)
+	}
+	if d, err := os.Open(j.dir); err == nil {
+		_ = d.Sync() // best effort; not all filesystems support dir fsync
+		d.Close()
+	}
+	return nil
+}
+
+// TailAfter returns the retained records with versions > version, oldest
+// first — the resume window for watch consumers reconnecting with a
+// last-seen version. Retention spans the records since the last
+// checkpoint; a caller further behind than that sees a shorter tail and
+// must treat the difference as a gap.
+func (j *Journal) TailAfter(version uint64) []Record {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	i := 0
+	for i < len(j.recent) && j.recent[i].Version <= version {
+		i++
+	}
+	if i == len(j.recent) {
+		return nil
+	}
+	out := make([]Record, len(j.recent)-i)
+	copy(out, j.recent[i:])
+	return out
+}
+
+// Version returns the last journaled snapshot version.
+func (j *Journal) Version() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.version
+}
+
+// Err returns the sticky first failure, if any.
+func (j *Journal) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// Stats reports the journal's gauges.
+func (j *Journal) Stats() Stats {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return Stats{
+		Version:         j.version,
+		Records:         j.records,
+		Checkpoints:     j.checkpoints,
+		Errors:          j.errs,
+		SinceCheckpoint: len(j.recent),
+	}
+}
+
+// Sync forces an fsync of the WAL regardless of policy.
+func (j *Journal) Sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return ErrClosed
+	}
+	if err := j.wal.Sync(); err != nil {
+		return j.fail(err)
+	}
+	return nil
+}
+
+// Close stops the flusher, fsyncs, and closes the WAL. Further appends
+// fail with ErrClosed. Idempotent.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		return nil
+	}
+	j.closed = true
+	stop, done := j.stop, j.done
+	var err error
+	if j.wal != nil {
+		if serr := j.wal.Sync(); serr != nil && err == nil {
+			err = serr
+		}
+		if cerr := j.wal.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	j.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+	return err
+}
+
+// Remove deletes the journal directory; call after Close when the mesh
+// is unregistered.
+func Remove(dir string) error { return os.RemoveAll(dir) }

@@ -1,0 +1,375 @@
+package journal
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/mesh"
+)
+
+func c(x, y int) mesh.Coord { return mesh.C(x, y) }
+
+// mustAppend journals one record or fails the test.
+func mustAppend(t *testing.T, j *Journal, version uint64, adds, repairs []mesh.Coord) {
+	t.Helper()
+	if err := j.Append(version, adds, repairs); err != nil {
+		t.Fatalf("append v%d: %v", version, err)
+	}
+}
+
+func TestCreateAppendReadRoundTrip(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "m")
+	j, err := Create(dir, 8, 6, Options{})
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	mustAppend(t, j, 2, []mesh.Coord{c(1, 1), c(2, 2)}, nil)
+	mustAppend(t, j, 3, []mesh.Coord{c(3, 3)}, []mesh.Coord{c(1, 1)})
+	if err := j.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	st, recs, err := Read(dir)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	want := &State{Width: 8, Height: 6, Version: 3, Faults: []mesh.Coord{c(2, 2), c(3, 3)}}
+	if !reflect.DeepEqual(st, want) {
+		t.Fatalf("state = %+v, want %+v", st, want)
+	}
+	if len(recs) != 2 || recs[0].Version != 2 || recs[1].Version != 3 {
+		t.Fatalf("records = %+v, want versions 2,3", recs)
+	}
+}
+
+func TestCreateRejectsExistingDir(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "m")
+	j, err := Create(dir, 4, 4, Options{})
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	j.Close()
+	if _, err := Create(dir, 4, 4, Options{}); err == nil {
+		t.Fatal("second Create on the same dir succeeded")
+	}
+}
+
+func TestCheckpointCompaction(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "m")
+	j, err := Create(dir, 8, 8, Options{CheckpointEvery: 3})
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	for v := uint64(2); v <= 8; v++ {
+		mustAppend(t, j, v, []mesh.Coord{c(int(v-2), 0)}, nil)
+	}
+	st := j.Stats()
+	if st.Checkpoints != 2 {
+		t.Fatalf("checkpoints = %d, want 2 (7 records, every 3)", st.Checkpoints)
+	}
+	if st.SinceCheckpoint != 1 {
+		t.Fatalf("since checkpoint = %d, want 1", st.SinceCheckpoint)
+	}
+	// The WAL holds only the post-checkpoint tail.
+	if tail := j.TailAfter(0); len(tail) != 1 || tail[0].Version != 8 {
+		t.Fatalf("tail = %+v, want just v8", tail)
+	}
+	j.Close()
+
+	// Recovery sees the full state regardless of where the checkpoint cut.
+	state, recs, err := Read(dir)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if state.Version != 8 || len(state.Faults) != 7 {
+		t.Fatalf("recovered %+v, want v8 with 7 faults", state)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("post-checkpoint records = %d, want 1", len(recs))
+	}
+
+	// ReadBase exposes the replay decomposition: the checkpoint state
+	// plus the tail records reproduce the final state.
+	base, baseRecs, err := ReadBase(dir)
+	if err != nil {
+		t.Fatalf("read base: %v", err)
+	}
+	if base.Version != 7 || len(base.Faults) != 6 {
+		t.Fatalf("base = %+v, want checkpoint cut at v7 with 6 faults", base)
+	}
+	if !reflect.DeepEqual(baseRecs, recs) {
+		t.Fatalf("base records %+v != read records %+v", baseRecs, recs)
+	}
+}
+
+func TestRecoverTornTail(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "m")
+	j, err := Create(dir, 8, 8, Options{})
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	mustAppend(t, j, 2, []mesh.Coord{c(1, 1)}, nil)
+	j.Close()
+
+	// Simulate a crash mid-append: a fragment of a frame at the tail.
+	wal := filepath.Join(dir, walFile)
+	f, err := os.OpenFile(wal, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatalf("open wal: %v", err)
+	}
+	if _, err := f.Write([]byte{0, 0, 0, 99, 1, 2}); err != nil {
+		t.Fatalf("tear: %v", err)
+	}
+	f.Close()
+
+	j2, st, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("open torn: %v", err)
+	}
+	if st.Version != 2 || len(st.Faults) != 1 {
+		t.Fatalf("recovered %+v, want v2 with 1 fault", st)
+	}
+	// The torn tail was truncated: appending and re-reading must work.
+	mustAppend(t, j2, 3, []mesh.Coord{c(2, 2)}, nil)
+	j2.Close()
+	st2, _, err := Read(dir)
+	if err != nil {
+		t.Fatalf("reread: %v", err)
+	}
+	if st2.Version != 3 || len(st2.Faults) != 2 {
+		t.Fatalf("post-tear state %+v, want v3 with 2 faults", st2)
+	}
+}
+
+func TestRecoverMidCheckpointTruncation(t *testing.T) {
+	// A crash between checkpoint publication and WAL truncation leaves
+	// records with versions <= the checkpoint's in the WAL; recovery
+	// must skip them, not double-apply or error.
+	dir := filepath.Join(t.TempDir(), "m")
+	j, err := Create(dir, 8, 8, Options{})
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	mustAppend(t, j, 2, []mesh.Coord{c(1, 1)}, nil)
+	mustAppend(t, j, 3, []mesh.Coord{c(2, 2)}, nil)
+	// Cut a checkpoint at v3 but resurrect the pre-checkpoint WAL, as a
+	// crash between rename and truncate would leave it.
+	walBytes, err := os.ReadFile(filepath.Join(dir, walFile))
+	if err != nil {
+		t.Fatalf("read wal: %v", err)
+	}
+	if err := j.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	j.Close()
+	if err := os.WriteFile(filepath.Join(dir, walFile), walBytes, 0o644); err != nil {
+		t.Fatalf("resurrect wal: %v", err)
+	}
+
+	st, recs, err := Read(dir)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if st.Version != 3 || len(st.Faults) != 2 {
+		t.Fatalf("recovered %+v, want v3 with 2 faults", st)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("stale records leaked into the tail: %+v", recs)
+	}
+
+	// And appending after such a recovery continues the sequence.
+	j2, st2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if st2.Version != 3 {
+		t.Fatalf("open version %d, want 3", st2.Version)
+	}
+	mustAppend(t, j2, 4, nil, []mesh.Coord{c(1, 1)})
+	j2.Close()
+	st3, _, err := Read(dir)
+	if err != nil {
+		t.Fatalf("reread: %v", err)
+	}
+	if st3.Version != 4 || len(st3.Faults) != 1 {
+		t.Fatalf("final state %+v, want v4 with 1 fault", st3)
+	}
+}
+
+func TestVersionSequenceEnforced(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "m")
+	j, err := Create(dir, 4, 4, Options{})
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	defer j.Close()
+	if err := j.Append(5, nil, nil); err == nil {
+		t.Fatal("gapped version accepted")
+	}
+	// The failure is sticky: the journal refuses to record a history
+	// with holes.
+	if err := j.Append(2, nil, nil); err == nil {
+		t.Fatal("append after sticky failure accepted")
+	}
+	if j.Err() == nil {
+		t.Fatal("Err() nil after failure")
+	}
+	if st := j.Stats(); st.Errors == 0 {
+		t.Fatal("Stats.Errors zero after failure")
+	}
+}
+
+func TestCorruptMiddleErrors(t *testing.T) {
+	// A CRC flip on bytes that are PRESENT is content corruption, not a
+	// torn append: the acknowledged records beyond it must not silently
+	// vanish, so recovery errors instead of truncating (contrast
+	// TestRecoverTornTail, where the bytes themselves run out).
+	dir := filepath.Join(t.TempDir(), "m")
+	j, err := Create(dir, 4, 4, Options{})
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	mustAppend(t, j, 2, []mesh.Coord{c(1, 1)}, nil)
+	mustAppend(t, j, 3, []mesh.Coord{c(2, 2)}, nil)
+	j.Close()
+	wal := filepath.Join(dir, walFile)
+	b, err := os.ReadFile(wal)
+	if err != nil {
+		t.Fatalf("read wal: %v", err)
+	}
+	b[frameHeaderLen] ^= 0xFF // payload byte of the FIRST record
+	if err := os.WriteFile(wal, b, 0o644); err != nil {
+		t.Fatalf("corrupt: %v", err)
+	}
+	if _, _, err := Read(dir); !errors.Is(err, ErrCorrupt) || errors.Is(err, ErrTruncated) {
+		t.Fatalf("Read over mid-log corruption = %v, want plain ErrCorrupt", err)
+	}
+}
+
+func TestMissingCheckpointErrors(t *testing.T) {
+	if _, _, err := Read(t.TempDir()); err == nil {
+		t.Fatal("Read of an empty dir succeeded")
+	}
+}
+
+func TestAbandoned(t *testing.T) {
+	// An empty directory is the crash husk of an interrupted Create:
+	// abandoned, safe to remove.
+	husk := filepath.Join(t.TempDir(), "husk")
+	if err := os.Mkdir(husk, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if !Abandoned(husk) {
+		t.Fatal("empty dir not reported abandoned")
+	}
+	// A real journal is never abandoned...
+	dir := filepath.Join(t.TempDir(), "m")
+	j, err := Create(dir, 4, 4, Options{})
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	mustAppend(t, j, 2, []mesh.Coord{c(1, 1)}, nil)
+	j.Close()
+	if Abandoned(dir) {
+		t.Fatal("live journal reported abandoned")
+	}
+	// ...even if its checkpoint goes missing while the WAL has bytes:
+	// that is corruption to surface, not a husk to delete.
+	if err := os.Remove(filepath.Join(dir, checkpointFile)); err != nil {
+		t.Fatal(err)
+	}
+	if Abandoned(dir) {
+		t.Fatal("checkpoint-less journal with WAL data reported abandoned")
+	}
+}
+
+func TestReadVersionJumpStillErrors(t *testing.T) {
+	// A WAL whose first record jumps past checkpoint+1 retries (it is
+	// the live-checkpoint race signature) but, when the files simply ARE
+	// inconsistent, must still land on an error — never a silent gap.
+	dir := filepath.Join(t.TempDir(), "m")
+	j, err := Create(dir, 4, 4, Options{})
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	j.Close()
+	var b []byte
+	b = appendFrame(b, mustMarshal(Record{Version: 5, Adds: []mesh.Coord{c(1, 1)}}))
+	if err := os.WriteFile(filepath.Join(dir, walFile), b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Read(dir); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Read with a gapped wal = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestTailAfter(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "m")
+	j, err := Create(dir, 8, 8, Options{})
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	defer j.Close()
+	for v := uint64(2); v <= 5; v++ {
+		mustAppend(t, j, v, []mesh.Coord{c(int(v), 1)}, nil)
+	}
+	if tail := j.TailAfter(3); len(tail) != 2 || tail[0].Version != 4 || tail[1].Version != 5 {
+		t.Fatalf("TailAfter(3) = %+v, want v4,v5", tail)
+	}
+	if tail := j.TailAfter(5); tail != nil {
+		t.Fatalf("TailAfter(5) = %+v, want nil", tail)
+	}
+}
+
+func TestFsyncPolicies(t *testing.T) {
+	for _, opts := range []Options{
+		{Fsync: FsyncAlways},
+		{Fsync: FsyncInterval, FsyncEvery: time.Millisecond},
+		{Fsync: FsyncNone},
+	} {
+		dir := filepath.Join(t.TempDir(), "m")
+		j, err := Create(dir, 4, 4, opts)
+		if err != nil {
+			t.Fatalf("%v: create: %v", opts.Fsync, err)
+		}
+		mustAppend(t, j, 2, []mesh.Coord{c(1, 1)}, nil)
+		if opts.Fsync == FsyncInterval {
+			time.Sleep(5 * time.Millisecond) // let the flusher tick
+		}
+		if err := j.Close(); err != nil {
+			t.Fatalf("%v: close: %v", opts.Fsync, err)
+		}
+		if err := j.Append(3, nil, nil); !errors.Is(err, ErrClosed) {
+			t.Fatalf("%v: append after close = %v, want ErrClosed", opts.Fsync, err)
+		}
+		st, _, err := Read(dir)
+		if err != nil || st.Version != 2 {
+			t.Fatalf("%v: read = (%+v, %v), want v2", opts.Fsync, st, err)
+		}
+	}
+}
+
+func TestParseFsync(t *testing.T) {
+	for _, tc := range []struct {
+		in     string
+		policy Policy
+		every  time.Duration
+		ok     bool
+	}{
+		{"always", FsyncAlways, 0, true},
+		{"", FsyncAlways, 0, true},
+		{"none", FsyncNone, 0, true},
+		{"250ms", FsyncInterval, 250 * time.Millisecond, true},
+		{"-1s", FsyncAlways, 0, false},
+		{"often", FsyncAlways, 0, false},
+	} {
+		p, d, err := ParseFsync(tc.in)
+		if (err == nil) != tc.ok || p != tc.policy || d != tc.every {
+			t.Errorf("ParseFsync(%q) = (%v, %v, %v), want (%v, %v, ok=%v)", tc.in, p, d, err, tc.policy, tc.every, tc.ok)
+		}
+	}
+}

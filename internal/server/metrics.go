@@ -36,7 +36,7 @@ type collector struct {
 // collector's httpErrors map.
 var errorCodes = []string{
 	CodeBadRequest, CodeMeshNotFound, CodeMeshExists, CodeRegistryFull,
-	CodeInternal,
+	CodeInternal, CodeStorage,
 	meshroute.CodeOutsideMesh, meshroute.CodeFaultyEndpoint,
 	meshroute.CodeUnreachable, meshroute.CodeAborted,
 	meshroute.CodeCanceled, meshroute.CodeInvalidFaultCount,
@@ -112,6 +112,31 @@ type MeshVarz struct {
 	// Faults and SnapshotVersion identify the published configuration.
 	Faults          int    `json:"faults"`
 	SnapshotVersion uint64 `json:"snapshot_version"`
+	// Watchers counts live /watch subscriptions (plus library watchers);
+	// WatchEventsDropped counts fault events dropped on slow watchers
+	// since the mesh was registered.
+	Watchers           int    `json:"watchers"`
+	WatchEventsDropped uint64 `json:"watch_events_dropped"`
+	// Journal carries the durability gauges; nil when the server runs
+	// without a data dir.
+	Journal *JournalVarz `json:"journal,omitempty"`
+}
+
+// JournalVarz is the per-mesh durability block of /varz.
+type JournalVarz struct {
+	// Version is the last journaled snapshot version; it trails
+	// SnapshotVersion only within an in-flight commit.
+	Version uint64 `json:"version"`
+	// Records and Checkpoints count appends and compactions since the
+	// journal was opened (boot or mesh creation).
+	Records     uint64 `json:"records"`
+	Checkpoints uint64 `json:"checkpoints"`
+	// Errors counts append/compaction/flush failures; nonzero means the
+	// on-disk history stopped (see the server log and Journal.Err).
+	Errors uint64 `json:"errors"`
+	// SinceCheckpoint is the WAL tail length — the `?from=` resume
+	// window the watch endpoint can replay.
+	SinceCheckpoint int `json:"since_checkpoint"`
 }
 
 // Varz is the body of GET /varz.
@@ -120,15 +145,18 @@ type Varz struct {
 	Meshes        map[string]*MeshVarz `json:"meshes"`
 }
 
-// varz renders the collector against the mesh's current oracle stats.
-func (c *collector) varz(oracleHits, oracleMisses uint64, faults int, version uint64) *MeshVarz {
+// varz renders the collector against the mesh's current oracle and
+// network stats.
+func (c *collector) varz(oracleHits, oracleMisses uint64, st meshroute.Stats) *MeshVarz {
 	v := &MeshVarz{
-		Routes:          c.routes.Load(),
-		Delivered:       c.delivered.Load(),
-		OracleHits:      oracleHits,
-		OracleMisses:    oracleMisses,
-		Faults:          faults,
-		SnapshotVersion: version,
+		Routes:             c.routes.Load(),
+		Delivered:          c.delivered.Load(),
+		OracleHits:         oracleHits,
+		OracleMisses:       oracleMisses,
+		Faults:             st.PublishedFaults,
+		SnapshotVersion:    st.SnapshotVersion,
+		Watchers:           st.Watchers,
+		WatchEventsDropped: st.WatchEventsDropped,
 	}
 	if v.Delivered > 0 {
 		v.MeanHops = float64(c.hops.Load()) / float64(v.Delivered)

@@ -12,6 +12,7 @@
 //	POST   /v1/meshes/{name}/route/batch   streaming batch      BatchWireRequest -> NDJSON of BatchWireItem
 //	POST   /v1/meshes/{name}/faults        atomic fault txn     FaultsWireRequest -> FaultsWireResponse
 //	GET    /v1/meshes/{name}/faults        list faulty nodes    -> FaultList
+//	GET    /v1/meshes/{name}/watch         fault-event stream   NDJSON of WatchWireItem (?from= resumes)
 //	GET    /healthz                        liveness/drain state -> 200 ("ok") or 503 ("draining")
 //	GET    /varz                           serving counters     -> Varz
 //
@@ -31,13 +32,24 @@
 // snapshot the NEXT request pins. Fault transactions are atomic: all ops
 // of one /faults POST publish as exactly one snapshot, or none do.
 //
+// # Durability
+//
+// With Config.DataDir set, every mesh's fault history is journaled
+// (internal/journal): one CRC-framed record per committed transaction,
+// appended from the engine's publish hook before watchers are notified,
+// compacted into checkpoints, and replayed by Recover on boot so a
+// restarted server resumes every mesh at its exact pre-crash fault set
+// and snapshot version. The watch endpoint streams the same commits live
+// and uses the journal's retained tail to serve `?from=` resumes.
+//
 // # Shutdown
 //
 // Handlers derive their contexts from both the request and the server's
 // base context. Drain cancels the base context with a cause, so
-// in-flight streaming batches stop promptly (their final NDJSON line is
-// a stream_error with code CANCELED) while the HTTP listener — owned by
-// the caller, see cmd/meshd — finishes draining connections.
+// in-flight streaming batches and watch streams stop promptly (their
+// final NDJSON line is a stream_error with code CANCELED) while the HTTP
+// listener — owned by the caller, see cmd/meshd — finishes draining
+// connections.
 package server
 
 import (
@@ -46,6 +58,8 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"os"
+	"path/filepath"
 	"regexp"
 	"sort"
 	"sync"
@@ -54,6 +68,7 @@ import (
 
 	meshroute "repro"
 	"repro/internal/engine"
+	"repro/internal/journal"
 )
 
 // ErrDraining is the default drain cause: requests aborted by shutdown
@@ -75,13 +90,30 @@ type Config struct {
 	// OracleBound caps each snapshot's cached BFS distance fields
 	// (<= 0 means the engine default).
 	OracleBound int
+	// DataDir, when set, makes mesh state durable: every registered mesh
+	// gets a fault-transaction journal under DataDir/<name>, every
+	// committed transaction is appended before its watchers are
+	// notified, and Recover rebuilds the registry from disk on boot.
+	// Empty (the default) serves from memory only, as before.
+	DataDir string
+	// Journal tunes the per-mesh journals (fsync policy, checkpoint
+	// compaction interval); meaningful only with DataDir.
+	Journal journal.Options
+	// WatchBuffer bounds each /watch subscriber's event buffer
+	// (<= 0 means meshroute.DefaultWatchBuffer). A consumer further
+	// behind than this sees a gap line instead of the dropped events.
+	WatchBuffer int
+	// WatchHeartbeat is the idle keep-alive interval of /watch streams
+	// (<= 0 means DefaultWatchHeartbeat).
+	WatchHeartbeat time.Duration
 }
 
 // The Config defaults.
 const (
-	DefaultMaxNodes      = 1 << 20
-	DefaultMaxMeshes     = 64
-	DefaultMaxBatchPairs = 1 << 20
+	DefaultMaxNodes       = 1 << 20
+	DefaultMaxMeshes      = 64
+	DefaultMaxBatchPairs  = 1 << 20
+	DefaultWatchHeartbeat = 15 * time.Second
 )
 
 // maxBodyBytes bounds request bodies read into memory. Batch bodies are
@@ -91,11 +123,14 @@ const maxBodyBytes = 64 << 20
 // meshNameRE validates registry names.
 var meshNameRE = regexp.MustCompile(`^[a-zA-Z0-9][a-zA-Z0-9_.-]{0,63}$`)
 
-// meshEntry is one registered mesh with its serving counters.
+// meshEntry is one registered mesh with its serving counters and, when
+// the server persists (Config.DataDir), its transaction journal.
 type meshEntry struct {
 	name    string
 	net     *meshroute.Network
 	metrics *collector
+	journal *journal.Journal // nil without DataDir
+	deleted chan struct{}    // closed when the mesh is unregistered
 }
 
 // Server is the meshd HTTP API: an http.Handler over a registry of named
@@ -110,8 +145,9 @@ type Server struct {
 	base     context.Context // canceled (with cause) by Drain
 	cancel   context.CancelCauseFunc
 
-	mu     sync.RWMutex
-	meshes map[string]*meshEntry
+	mu       sync.RWMutex
+	meshes   map[string]*meshEntry
+	creating map[string]struct{} // names reserved by in-flight creates
 }
 
 // New returns an empty Server.
@@ -125,13 +161,20 @@ func New(cfg Config) *Server {
 	if cfg.MaxBatchPairs <= 0 {
 		cfg.MaxBatchPairs = DefaultMaxBatchPairs
 	}
+	if cfg.WatchBuffer <= 0 {
+		cfg.WatchBuffer = meshroute.DefaultWatchBuffer
+	}
+	if cfg.WatchHeartbeat <= 0 {
+		cfg.WatchHeartbeat = DefaultWatchHeartbeat
+	}
 	base, cancel := context.WithCancelCause(context.Background())
 	s := &Server{
-		cfg:    cfg,
-		start:  time.Now(),
-		base:   base,
-		cancel: cancel,
-		meshes: make(map[string]*meshEntry),
+		cfg:      cfg,
+		start:    time.Now(),
+		base:     base,
+		cancel:   cancel,
+		meshes:   make(map[string]*meshEntry),
+		creating: make(map[string]struct{}),
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -144,8 +187,85 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("POST /v1/meshes/{name}/route/batch", s.handleBatch)
 	mux.HandleFunc("POST /v1/meshes/{name}/faults", s.handleFaults)
 	mux.HandleFunc("GET /v1/meshes/{name}/faults", s.handleListFaults)
+	mux.HandleFunc("GET /v1/meshes/{name}/watch", s.handleWatch)
 	s.mux = mux
 	return s
+}
+
+// Recover rebuilds the registry from Config.DataDir: every journal
+// directory under it is replayed into a mesh serving the exact pre-crash
+// fault set and snapshot version, with its journal reopened for further
+// appends. Call once, before serving; without a DataDir it is a no-op.
+// It returns the number of meshes recovered.
+func (s *Server) Recover() (int, error) {
+	if s.cfg.DataDir == "" {
+		return 0, nil
+	}
+	if err := os.MkdirAll(s.cfg.DataDir, 0o755); err != nil {
+		return 0, fmt.Errorf("server: data dir: %w", err)
+	}
+	dirs, err := os.ReadDir(s.cfg.DataDir)
+	if err != nil {
+		return 0, fmt.Errorf("server: data dir: %w", err)
+	}
+	n := 0
+	for _, d := range dirs {
+		if !d.IsDir() || !meshNameRE.MatchString(d.Name()) {
+			continue
+		}
+		name := d.Name()
+		dir := filepath.Join(s.cfg.DataDir, name)
+		j, st, err := journal.Open(dir, s.cfg.Journal)
+		if err != nil {
+			if journal.Abandoned(dir) {
+				// The crash window of an interrupted create: no checkpoint
+				// and no WAL bytes means nothing was ever acknowledged.
+				// Withdraw the husk instead of bricking every boot on it.
+				_ = journal.Remove(dir)
+				continue
+			}
+			return n, fmt.Errorf("server: recover mesh %q: %w", name, err)
+		}
+		metrics := newCollector()
+		net, err := meshroute.Restore(st.Width, st.Height, st.Faults, st.Version, engine.Options{
+			OracleBound: s.cfg.OracleBound,
+			Metrics:     metrics,
+			OnPublish:   publishToJournal(j),
+		})
+		if err != nil {
+			j.Close()
+			return n, fmt.Errorf("server: recover mesh %q: %w", name, err)
+		}
+		e := &meshEntry{name: name, net: net, metrics: metrics, journal: j, deleted: make(chan struct{})}
+		s.mu.Lock()
+		_, dup := s.meshes[name]
+		full := !dup && len(s.meshes) >= s.cfg.MaxMeshes
+		if !dup && !full {
+			s.meshes[name] = e
+		}
+		s.mu.Unlock()
+		if dup || full {
+			j.Close()
+			if dup {
+				return n, fmt.Errorf("server: recover mesh %q: already registered", name)
+			}
+			return n, fmt.Errorf("server: recover mesh %q: registry full (%d meshes)", name, s.cfg.MaxMeshes)
+		}
+		n++
+	}
+	return n, nil
+}
+
+// publishToJournal adapts a journal into the engine's commit hook. The
+// hook runs inside the writer critical section and BEFORE the facade's
+// watch fan-out, so a watcher never observes an event whose journal
+// record could trail behind it. Append failures latch in the journal
+// (surfaced via /varz and Journal.Err), not in the commit path: routing
+// availability is not held hostage to a sick disk.
+func publishToJournal(j *journal.Journal) func(uint64, engine.Delta) {
+	return func(version uint64, delta engine.Delta) {
+		_ = j.Append(version, delta.Adds, delta.Repairs)
+	}
 }
 
 // Handler returns the server's HTTP handler.
@@ -260,9 +380,19 @@ func (s *Server) Varz() Varz {
 		Meshes:        make(map[string]*MeshVarz, len(entries)),
 	}
 	for _, e := range entries {
-		snap := e.net.Engine().Snapshot()
-		hits, misses := snap.Oracle().Stats()
-		v.Meshes[e.name] = e.metrics.varz(hits, misses, snap.Faults().Count(), snap.Version())
+		hits, misses := e.net.Engine().Snapshot().Oracle().Stats()
+		mv := e.metrics.varz(hits, misses, e.net.Stats())
+		if e.journal != nil {
+			js := e.journal.Stats()
+			mv.Journal = &JournalVarz{
+				Version:         js.Version,
+				Records:         js.Records,
+				Checkpoints:     js.Checkpoints,
+				Errors:          js.Errors,
+				SinceCheckpoint: js.SinceCheckpoint,
+			}
+		}
+		v.Meshes[e.name] = mv
 	}
 	return v
 }
@@ -295,61 +425,80 @@ func (s *Server) handleCreateMesh(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	}
-	// Reject duplicates and a full registry before paying for the build
-	// (the analysis precompute is O(nodes) work), then re-check at insert
-	// in case a concurrent create won the name meanwhile.
-	if we, ok := s.reserveMesh(req.Name); !ok {
+	// Reserve the name before paying for the build (the analysis
+	// precompute is O(nodes) work): a reservation makes concurrent
+	// creates of one name lose with MESH_EXISTS at this boundary —
+	// before either touches the disk — and holds the registry slot until
+	// commitReserved or releaseReserved resolves it.
+	if we, ok := s.reserveName(req.Name); !ok {
 		writeError(w, nil, we)
 		return
 	}
 	metrics := newCollector()
-	net := meshroute.NewWithEngineOptions(req.Width, req.Height, engine.Options{
+	opts := engine.Options{
 		OracleBound: s.cfg.OracleBound,
 		Metrics:     metrics,
-	})
-	e := &meshEntry{name: req.Name, net: net, metrics: metrics}
-	s.mu.Lock()
-	if we, ok := s.registerLocked(e); !ok {
-		s.mu.Unlock()
-		writeError(w, nil, we)
-		return
 	}
-	s.mu.Unlock()
+	var j *journal.Journal
+	if s.cfg.DataDir != "" {
+		var err error
+		j, err = journal.Create(filepath.Join(s.cfg.DataDir, req.Name), req.Width, req.Height, s.cfg.Journal)
+		if err != nil {
+			s.releaseReserved(req.Name)
+			// With the name reserved, an existing directory here is
+			// on-disk state the registry does not know about (e.g. a
+			// data dir that was never recovered) — operational, 500.
+			writeError(w, nil, WireError{
+				Code:    CodeStorage,
+				Message: fmt.Sprintf("journal for mesh %q: %v", req.Name, err),
+			})
+			return
+		}
+		opts.OnPublish = publishToJournal(j)
+	}
+	net := meshroute.NewWithEngineOptions(req.Width, req.Height, opts)
+	e := &meshEntry{name: req.Name, net: net, metrics: metrics, journal: j, deleted: make(chan struct{})}
+	s.commitReserved(e)
 	writeJSON(w, http.StatusCreated, s.meshInfo(e, false))
 }
 
-// reserveMesh cheaply pre-checks name availability and registry space.
-func (s *Server) reserveMesh(name string) (WireError, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.checkRegistryLocked(name)
-}
-
-// registerLocked inserts an entry after re-validating; callers hold s.mu.
-func (s *Server) registerLocked(e *meshEntry) (WireError, bool) {
-	if we, ok := s.checkRegistryLocked(e.name); !ok {
-		return we, false
-	}
-	s.meshes[e.name] = e
-	return WireError{}, true
-}
-
-// checkRegistryLocked validates name availability and registry space;
-// callers hold s.mu (read or write).
-func (s *Server) checkRegistryLocked(name string) (WireError, bool) {
-	if _, dup := s.meshes[name]; dup {
+// reserveName claims a create slot: a name that is registered OR mid-
+// create is MESH_EXISTS, and reservations count against the registry
+// cap so concurrent creates cannot overshoot it.
+func (s *Server) reserveName(name string) (WireError, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, live := s.meshes[name]
+	_, mid := s.creating[name]
+	if live || mid {
 		return WireError{
 			Code:    CodeMeshExists,
 			Message: fmt.Sprintf("mesh %q already exists", name),
 		}, false
 	}
-	if len(s.meshes) >= s.cfg.MaxMeshes {
+	if len(s.meshes)+len(s.creating) >= s.cfg.MaxMeshes {
 		return WireError{
 			Code:    CodeRegistryFull,
 			Message: fmt.Sprintf("registry full (%d meshes)", s.cfg.MaxMeshes),
 		}, false
 	}
+	s.creating[name] = struct{}{}
 	return WireError{}, true
+}
+
+// commitReserved turns a reservation into a registered mesh.
+func (s *Server) commitReserved(e *meshEntry) {
+	s.mu.Lock()
+	delete(s.creating, e.name)
+	s.meshes[e.name] = e
+	s.mu.Unlock()
+}
+
+// releaseReserved abandons a reservation after a failed create.
+func (s *Server) releaseReserved(name string) {
+	s.mu.Lock()
+	delete(s.creating, name)
+	s.mu.Unlock()
 }
 
 // meshInfo snapshots one entry's stats.
@@ -408,8 +557,22 @@ func (s *Server) handleGetMesh(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleDeleteMesh(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	s.mu.Lock()
-	_, ok := s.meshes[name]
+	e, ok := s.meshes[name]
 	delete(s.meshes, name)
+	// The journal is withdrawn with the mesh — an unregistered name must
+	// not resurrect on the next boot — and it is withdrawn while the
+	// registry lock still holds the name, so a concurrent re-create of
+	// the same name cannot have its fresh journal directory swept away.
+	// Deletes are rare; the fsync-on-close under the lock is fine.
+	if ok && e.journal != nil {
+		e.journal.Close()
+		_ = journal.Remove(filepath.Join(s.cfg.DataDir, name))
+	}
+	if ok {
+		// Tell the mesh's long-lived watch streams the mesh is gone —
+		// their heartbeats would otherwise report a dead Network forever.
+		close(e.deleted)
+	}
 	s.mu.Unlock()
 	if !ok {
 		writeError(w, nil, notFound(name))
@@ -599,10 +762,22 @@ func (s *Server) handleFaults(w http.ResponseWriter, r *http.Request) {
 		writeError(w, e, badRequest("transaction has no ops"))
 		return
 	}
+	// A journaled mesh refuses new commits once its journal is sick:
+	// accepting a transaction whose record cannot be written would ACK
+	// state the next boot silently loses.
+	if e.journal != nil {
+		if jerr := e.journal.Err(); jerr != nil {
+			writeError(w, e, WireError{
+				Code:    CodeStorage,
+				Message: fmt.Sprintf("journal unavailable, transaction refused: %v", jerr),
+			})
+			return
+		}
+	}
 	// One Apply per request: every op stages on the same transaction, so
 	// the whole POST publishes exactly one snapshot or rolls back whole.
 	var failedOp int
-	err := e.net.Apply(func(tx *meshroute.Tx) error {
+	version, err := e.net.ApplyVersion(func(tx *meshroute.Tx) error {
 		for i, op := range req.Ops {
 			if err := applyOp(tx, op); err != nil {
 				failedOp = i
@@ -623,11 +798,30 @@ func (s *Server) handleFaults(w http.ResponseWriter, r *http.Request) {
 		writeError(w, e, we)
 		return
 	}
+	// The commit published; if journaling THIS version failed (disk
+	// full, torn directory), do NOT return 200: the in-memory state is
+	// ahead of the durable history and a crash would silently rewind it.
+	// Appends are version-ordered and failures sticky, so the journal
+	// having reached our version means our record is in the WAL — a
+	// concurrent commit's failure cannot misattribute to us, and a failed
+	// compaction AFTER a durable append (the WAL keeps the record) does
+	// not fail the commit that triggered it, only the ones after.
+	if e.journal != nil && e.journal.Version() < version {
+		cause := e.journal.Err()
+		if cause == nil {
+			cause = journal.ErrClosed // delete race: the journal went away underneath
+		}
+		writeError(w, e, WireError{
+			Code:    CodeStorage,
+			Message: fmt.Sprintf("transaction applied in memory but not journaled: %v", cause),
+		})
+		return
+	}
 	st := e.net.Stats()
 	writeJSON(w, http.StatusOK, FaultsWireResponse{
 		OpsApplied:      len(req.Ops),
 		Faults:          st.PublishedFaults,
-		SnapshotVersion: st.SnapshotVersion,
+		SnapshotVersion: version,
 	})
 }
 
@@ -668,7 +862,12 @@ func (s *Server) handleListFaults(w http.ResponseWriter, r *http.Request) {
 		writeError(w, nil, notFound(name))
 		return
 	}
-	coords := e.net.Engine().Snapshot().Faults().Coords()
-	list := FaultList{Count: len(coords), Faults: toWirePath(coords)}
+	snap := e.net.Engine().Snapshot()
+	coords := snap.Faults().Coords()
+	list := FaultList{
+		Count:           len(coords),
+		Faults:          toWirePath(coords),
+		SnapshotVersion: snap.Version(),
+	}
 	writeJSON(w, http.StatusOK, list)
 }

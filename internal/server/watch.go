@@ -1,0 +1,174 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	meshroute "repro"
+	"repro/internal/journal"
+)
+
+// handleWatch serves GET /v1/meshes/{name}/watch: a long-lived NDJSON
+// stream of the mesh's committed fault transactions. Each line carries
+// exactly one of:
+//
+//	event        one commit: snapshot version + add/repair delta
+//	gap          a version range the stream cannot deliver (resume
+//	             point older than the journal's retention, or a
+//	             consumer that fell behind the bounded buffer); the
+//	             client re-syncs via GET /faults (which reports the
+//	             snapshot version it captures)
+//	heartbeat    idle keep-alive carrying the current published version
+//	stream_error terminal line when the stream is cut short (client
+//	             disconnect or server drain)
+//
+// Events arrive in strictly increasing version order with no duplicates.
+// `?from=N` resumes after version N: with a data dir, the journal's
+// retained tail (since its last checkpoint) is replayed first; anything
+// older surfaces as one gap line.
+func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	e, ok := s.lookup(name)
+	if !ok {
+		writeError(w, nil, notFound(name))
+		return
+	}
+	var from uint64
+	fromSet := false
+	if q := r.URL.Query().Get("from"); q != "" {
+		v, err := strconv.ParseUint(q, 10, 64)
+		if err != nil {
+			writeError(w, e, badRequest("invalid from %q: %v", q, err))
+			return
+		}
+		from, fromSet = v, true
+		if from < 1 {
+			// Version 1 is the initial snapshot: it exists from creation
+			// and never has an event, so "everything from the beginning"
+			// starts after it (a 0 cursor must not read as a gap).
+			from = 1
+		}
+	}
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+
+	// Subscribe BEFORE reading the current version and the journal tail:
+	// a commit racing this handler then lands in the journal tail, the
+	// live queue, or both — and the version-ordered dedup below folds the
+	// overlap. Subscribing after would open a window where a commit is in
+	// neither.
+	watch := e.net.Watch(ctx, meshroute.WithWatchBuffer(s.cfg.WatchBuffer))
+	defer watch.Close()
+
+	// A from ahead of the published version is impossible for an honest
+	// client of THIS mesh (typically a stale cursor from a deleted and
+	// re-created name, whose versions restarted): reject it rather than
+	// silently suppressing every future commit as a duplicate.
+	cur := e.net.Stats().SnapshotVersion
+	if fromSet && from > cur {
+		writeError(w, e, badRequest("from %d is ahead of the published snapshot version %d", from, cur))
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	if flusher != nil {
+		// Push the headers out before the first (possibly distant) line:
+		// a client that connected is subscribed from this point on.
+		flusher.Flush()
+	}
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	emit := func(item WatchWireItem) bool {
+		if err := enc.Encode(item); err != nil {
+			return false // client gone; the deferred Close unsubscribes
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+
+	// last is the newest version the client has (or has been told it
+	// missed): events at or below it are duplicates to skip.
+	last := cur
+	if fromSet && from < last {
+		var tail []journal.Record
+		if e.journal != nil {
+			tail = e.journal.TailAfter(from)
+		}
+		// Everything between from and the first replayable record is
+		// unrecoverable — one gap line tells the client to re-sync.
+		gapTo := last
+		if len(tail) > 0 {
+			gapTo = tail[0].Version - 1
+		}
+		if from < gapTo {
+			if !emit(WatchWireItem{Gap: &WatchWireGap{From: from + 1, To: gapTo}}) {
+				return
+			}
+			last = gapTo
+		}
+		for _, rec := range tail {
+			if !emit(WatchWireItem{Event: wireEvent(rec.Version, rec.Adds, rec.Repairs)}) {
+				return
+			}
+			last = rec.Version
+		}
+	}
+
+	hb := time.NewTicker(s.cfg.WatchHeartbeat)
+	defer hb.Stop()
+	for {
+		select {
+		case <-e.deleted:
+			we := WireError{Code: CodeMeshNotFound, Message: fmt.Sprintf("mesh %q deleted", name)}
+			e.metrics.countError(we.Code)
+			_ = enc.Encode(WatchWireItem{StreamError: &we})
+			return
+		case <-ctx.Done():
+			we := wireError(fmt.Errorf("watch: %w: %w", meshroute.ErrCanceled, context.Cause(ctx)))
+			e.metrics.countError(we.Code)
+			_ = enc.Encode(WatchWireItem{StreamError: &we})
+			return
+		case <-hb.C:
+			if !emit(WatchWireItem{Heartbeat: &WatchWireHeartbeat{Version: e.net.Stats().SnapshotVersion}}) {
+				return
+			}
+		case <-watch.Ready():
+			for {
+				ev, ok := watch.Poll()
+				if !ok {
+					break
+				}
+				if ev.Version <= last {
+					continue // already replayed from the journal tail
+				}
+				if ev.Version > last+1 {
+					// The bounded buffer dropped events (slow consumer).
+					if !emit(WatchWireItem{Gap: &WatchWireGap{From: last + 1, To: ev.Version - 1}}) {
+						return
+					}
+				}
+				if !emit(WatchWireItem{Event: wireEvent(ev.Version, ev.Adds, ev.Repairs)}) {
+					return
+				}
+				last = ev.Version
+			}
+		}
+	}
+}
+
+// wireEvent shapes one fault event line.
+func wireEvent(version uint64, adds, repairs []meshroute.Coord) *WatchWireEvent {
+	return &WatchWireEvent{
+		Version: version,
+		Adds:    toWirePath(adds),
+		Repairs: toWirePath(repairs),
+	}
+}

@@ -24,6 +24,10 @@ const (
 	// served request should never produce it; the CI smoke fails if one
 	// leaks.
 	CodeInternal = "INTERNAL"
+	// CodeStorage reports a journal/data-dir failure on a persistent
+	// server (mesh create could not initialize its journal). Operational,
+	// not a client error: 500.
+	CodeStorage = "STORAGE"
 )
 
 // StatusCanceled is the non-standard 499 "client closed request" status
@@ -48,6 +52,8 @@ func statusForCode(code string) int {
 		return http.StatusTooManyRequests // 429
 	case meshroute.CodeCanceled:
 		return StatusCanceled // 499
+	case CodeStorage:
+		return http.StatusInternalServerError // 500
 	}
 	return http.StatusInternalServerError // 500
 }
@@ -272,10 +278,48 @@ type FaultsWireResponse struct {
 	SnapshotVersion uint64 `json:"snapshot_version"`
 }
 
-// FaultList is the body of GET /v1/meshes/{name}/faults.
+// FaultList is the body of GET /v1/meshes/{name}/faults. The snapshot
+// version identifies the published configuration the listing captures —
+// watch consumers re-syncing after a gap line resume `?from=` here.
 type FaultList struct {
-	Count  int     `json:"count"`
-	Faults []Coord `json:"faults"`
+	Count           int     `json:"count"`
+	Faults          []Coord `json:"faults"`
+	SnapshotVersion uint64  `json:"snapshot_version"`
+}
+
+// WatchWireEvent is one committed fault transaction on the watch stream:
+// the snapshot version it published and the add/repair delta against the
+// previous snapshot (row-major order).
+type WatchWireEvent struct {
+	Version uint64  `json:"version"`
+	Adds    []Coord `json:"adds,omitempty"`
+	Repairs []Coord `json:"repairs,omitempty"`
+}
+
+// WatchWireGap is an inclusive version range the stream cannot deliver:
+// the resume point predates the journal's retention, or the consumer
+// fell behind the bounded buffer. Re-sync full state via GET /faults.
+type WatchWireGap struct {
+	From uint64 `json:"from"`
+	To   uint64 `json:"to"`
+}
+
+// WatchWireHeartbeat is the idle keep-alive line, carrying the current
+// published snapshot version so consumers can detect missed events
+// without a round-trip.
+type WatchWireHeartbeat struct {
+	Version uint64 `json:"version"`
+}
+
+// WatchWireItem is one NDJSON line of GET /v1/meshes/{name}/watch.
+// Exactly one field is set. A StreamError line terminates a stream cut
+// short (client disconnect or server drain); a live stream otherwise
+// never ends on its own.
+type WatchWireItem struct {
+	Event       *WatchWireEvent     `json:"event,omitempty"`
+	Gap         *WatchWireGap       `json:"gap,omitempty"`
+	Heartbeat   *WatchWireHeartbeat `json:"heartbeat,omitempty"`
+	StreamError *WireError          `json:"stream_error,omitempty"`
 }
 
 // algoName renders an Algorithm in its wire spelling.

@@ -36,6 +36,11 @@
 //   - Fault changes go through the atomic transaction API Apply: all edits
 //     of one transaction publish as exactly one engine snapshot, and a
 //     failed transaction publishes nothing.
+//   - Watch(ctx) subscribes to committed fault transactions: an ordered,
+//     bounded-buffer stream of FaultEvents (version + add/repair delta)
+//     with an explicit gap marker for slow consumers. Restore rebuilds a
+//     network at a recovered fault set and snapshot version (crash
+//     recovery, see internal/journal).
 //
 // The pre-v1 methods (RouteLegacy, RouteBatchLegacy, and the single-edit
 // mutators) remain as thin shims over the same machinery.
@@ -123,6 +128,11 @@ type Network struct {
 	mu      sync.Mutex                      // serializes Apply transactions
 	opts    atomic.Pointer[routing.Options] // walk defaults (SetPolicy); never nil
 	pending atomic.Int64                    // edits staged by an in-flight Apply
+
+	watchMu      sync.Mutex // guards the watcher registry
+	watchers     map[uint64]*Watch
+	watchSeq     uint64
+	watchDropped atomic.Uint64 // events dropped on slow watchers (Stats)
 }
 
 // New returns a fault-free W x H mesh network.
@@ -130,13 +140,71 @@ func New(w, h int) *Network { return NewWithEngineOptions(w, h, engine.Options{}
 
 // NewWithEngineOptions returns a fault-free W x H network whose engine is
 // configured with opts: serving layers use it to plumb a metrics hook
-// (engine.Options.Metrics), bound the oracle cache (OracleBound), or
-// narrow the precomputed information models (Models). opts.Routing.Rng
-// and opts.Routing.Scratch must be nil, as for engine.New.
+// (engine.Options.Metrics), a commit observer (OnPublish — journaling
+// layers use it; the network chains its own Watch fan-out after it),
+// bound the oracle cache (OracleBound), or narrow the precomputed
+// information models (Models). opts.Routing.Rng and opts.Routing.Scratch
+// must be nil, as for engine.New.
 func NewWithEngineOptions(w, h int, opts engine.Options) *Network {
+	return newNetwork(mesh.New(w, h), func(m mesh.Mesh) *fault.Set { return fault.NewSet(m) }, opts)
+}
+
+// Restore returns a W x H network rebuilt to a recovered state: the given
+// fault configuration published as snapshot version — the constructor
+// crash-recovery layers (internal/journal, internal/server) use so that
+// a rebooted network serves the exact pre-crash snapshot version and
+// later transactions continue the same monotone sequence. It fails with
+// ErrOutsideMesh for degenerate dimensions or out-of-range faults, and
+// rejects version 0 (published versions start at 1).
+func Restore(w, h int, faults []Coord, version uint64, opts engine.Options) (*Network, error) {
+	if w < 1 || h < 1 {
+		return nil, fmt.Errorf("meshroute: restore dimensions %dx%d: %w", w, h, ErrOutsideMesh)
+	}
+	if version < 1 {
+		return nil, fmt.Errorf("meshroute: restore version %d: published versions start at 1", version)
+	}
 	m := mesh.New(w, h)
-	n := &Network{m: m, router: engine.New(fault.NewSet(m), opts)}
+	for _, c := range faults {
+		if !m.In(c) {
+			return nil, fmt.Errorf("meshroute: restored fault %v outside %v: %w", c, m, ErrOutsideMesh)
+		}
+	}
+	opts.StartVersion = version
+	return newNetwork(m, func(m mesh.Mesh) *fault.Set {
+		f := fault.NewSet(m)
+		for _, c := range faults {
+			f.Add(c)
+		}
+		return f
+	}, opts), nil
+}
+
+// newNetwork builds a Network over m, chaining the network's Watch
+// fan-out after any caller-provided OnPublish observer (journal first,
+// then notification — a watcher never sees an event its journal record
+// could trail behind).
+func newNetwork(m mesh.Mesh, seed func(mesh.Mesh) *fault.Set, opts engine.Options) *Network {
+	n := &Network{m: m}
 	n.opts.Store(&routing.Options{})
+	user := opts.OnPublish
+	opts.OnPublish = func(version uint64, delta engine.Delta) {
+		if user != nil {
+			user(version, delta)
+		}
+		n.fanout(version, delta)
+	}
+	// Skip the per-publication O(nodes) delta diff entirely when nobody
+	// can observe it: no caller hook (journal) and no live watcher.
+	opts.OnPublishNeeded = func() bool {
+		if user != nil {
+			return true
+		}
+		n.watchMu.Lock()
+		live := len(n.watchers) > 0
+		n.watchMu.Unlock()
+		return live
+	}
+	n.router = engine.New(seed(m), opts)
 	return n
 }
 

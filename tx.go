@@ -89,17 +89,27 @@ func (tx *Tx) FaultCount() int { return tx.f.Count() }
 // applied transaction: they serve the previous snapshot until the single
 // atomic publication. Transactions are serialized among themselves.
 func (n *Network) Apply(fn func(tx *Tx) error) error {
+	_, err := n.ApplyVersion(fn)
+	return err
+}
+
+// ApplyVersion is Apply, additionally returning the snapshot version the
+// transaction published — the version its FaultEvent and journal record
+// carry. An edit-free (or rolled-back) transaction publishes nothing and
+// returns the already-published version. Serving layers use the precise
+// version to attribute per-commit durability outcomes.
+func (n *Network) ApplyVersion(fn func(tx *Tx) error) (uint64, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	defer n.pending.Store(0)
 	tx := &Tx{m: n.m, f: n.router.Snapshot().Faults().Clone(), pending: &n.pending}
 	if err := fn(tx); err != nil {
-		return fmt.Errorf("meshroute: transaction rolled back: %w", err)
+		return n.router.Version(), fmt.Errorf("meshroute: transaction rolled back: %w", err)
 	}
 	if tx.edits > 0 {
-		n.router.Swap(tx.f)
+		return n.router.Swap(tx.f).Version(), nil
 	}
-	return nil
+	return n.router.Version(), nil
 }
 
 // Stats is a point-in-time snapshot of the network's serving state.
@@ -113,21 +123,34 @@ type Stats struct {
 	// routing until their transaction commits.
 	PendingEdits int
 	// SnapshotVersion is the monotone version of the published snapshot;
-	// it advances by exactly one per committed transaction.
+	// it advances by exactly one per committed transaction. Watch
+	// consumers compare it against their last delivered FaultEvent.Version
+	// to detect gaps without a round-trip.
 	SnapshotVersion uint64
+	// Watchers counts the live Watch subscriptions on this network.
+	Watchers int
+	// WatchEventsDropped counts fault events dropped on slow watchers
+	// (bounded-buffer overflow) since the network was built.
+	WatchEventsDropped uint64
 }
 
 // Stats reports the published fault count, the pending-edit count of any
-// in-flight transaction, and the snapshot version. The two counters are
-// read independently (each atomically); treat the pair as advisory.
+// in-flight transaction, the snapshot version, and the watch gauges. The
+// counters are read independently (each atomically); treat the group as
+// advisory.
 func (n *Network) Stats() Stats {
 	snap := n.router.Snapshot()
+	n.watchMu.Lock()
+	watchers := len(n.watchers)
+	n.watchMu.Unlock()
 	return Stats{
-		Width:           n.m.Width(),
-		Height:          n.m.Height(),
-		PublishedFaults: snap.Faults().Count(),
-		PendingEdits:    int(n.pending.Load()),
-		SnapshotVersion: snap.Version(),
+		Width:              n.m.Width(),
+		Height:             n.m.Height(),
+		PublishedFaults:    snap.Faults().Count(),
+		PendingEdits:       int(n.pending.Load()),
+		SnapshotVersion:    snap.Version(),
+		Watchers:           watchers,
+		WatchEventsDropped: n.watchDropped.Load(),
 	}
 }
 

@@ -1,0 +1,313 @@
+package meshroute
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/engine"
+)
+
+// TestWatchDeliversCommitsInOrder locks the basic stream contract: every
+// committed transaction arrives as one event, in version order, with the
+// exact delta.
+func TestWatchDeliversCommitsInOrder(t *testing.T) {
+	ctx := context.Background()
+	net := NewSquare(8)
+	w := net.Watch(ctx)
+	defer w.Close()
+
+	if err := net.Apply(func(tx *Tx) error {
+		tx.AddFault(C(1, 1))
+		tx.AddFault(C(2, 2))
+		return nil
+	}); err != nil {
+		t.Fatalf("apply: %v", err)
+	}
+	if err := net.Apply(func(tx *Tx) error {
+		tx.RepairFault(C(1, 1))
+		return nil
+	}); err != nil {
+		t.Fatalf("apply: %v", err)
+	}
+
+	ev1, err := w.Next(ctx)
+	if err != nil {
+		t.Fatalf("next: %v", err)
+	}
+	want1 := FaultEvent{Version: 2, Adds: []Coord{C(1, 1), C(2, 2)}}
+	if !reflect.DeepEqual(ev1, want1) {
+		t.Fatalf("event 1 = %+v, want %+v", ev1, want1)
+	}
+	ev2, err := w.Next(ctx)
+	if err != nil {
+		t.Fatalf("next: %v", err)
+	}
+	want2 := FaultEvent{Version: 3, Repairs: []Coord{C(1, 1)}}
+	if !reflect.DeepEqual(ev2, want2) {
+		t.Fatalf("event 2 = %+v, want %+v", ev2, want2)
+	}
+}
+
+// TestWatchRolledBackTransactionPublishesNothing: a failed Apply must not
+// produce an event.
+func TestWatchRolledBackTransactionPublishesNothing(t *testing.T) {
+	ctx := context.Background()
+	net := NewSquare(8)
+	w := net.Watch(ctx)
+	defer w.Close()
+	boom := errors.New("boom")
+	if err := net.Apply(func(tx *Tx) error {
+		tx.AddFault(C(1, 1))
+		return boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("apply = %v, want rollback", err)
+	}
+	if ev, ok := w.Poll(); ok {
+		t.Fatalf("rolled-back transaction produced event %+v", ev)
+	}
+}
+
+// TestWatchConcurrentApply asserts the acceptance criterion: under
+// concurrent Apply load, a watcher sees every commit exactly once, in
+// strictly increasing version order with no duplicates (run under -race).
+func TestWatchConcurrentApply(t *testing.T) {
+	ctx := context.Background()
+	net := NewSquare(8)
+	const writers, txPer = 4, 6
+	total := writers * txPer
+
+	w := net.Watch(ctx, WithWatchBuffer(total+1))
+	defer w.Close()
+
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < txPer; i++ {
+				c := C(g, i)
+				if err := net.Apply(func(tx *Tx) error {
+					if tx.Faulty(c) {
+						return tx.RepairFault(c)
+					}
+					return tx.AddFault(c)
+				}); err != nil {
+					t.Errorf("apply: %v", err)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	last := uint64(1)
+	for i := 0; i < total; i++ {
+		ev, err := w.Next(ctx)
+		if err != nil {
+			t.Fatalf("next after %d events: %v", i, err)
+		}
+		if ev.Gap {
+			t.Fatalf("event %d carries a gap with an ample buffer: %+v", i, ev)
+		}
+		if ev.Version != last+1 {
+			t.Fatalf("event %d version = %d, want %d (ordered, no dups, no gaps)", i, ev.Version, last+1)
+		}
+		last = ev.Version
+	}
+	if ev, ok := w.Poll(); ok {
+		t.Fatalf("extra event after all commits: %+v", ev)
+	}
+	if st := net.Stats(); st.SnapshotVersion != last {
+		t.Fatalf("stats version %d != last delivered %d", st.SnapshotVersion, last)
+	}
+}
+
+// TestWatchSlowConsumerGap: overflowing the bounded buffer drops the
+// oldest events and marks the first event after the hole.
+func TestWatchSlowConsumerGap(t *testing.T) {
+	ctx := context.Background()
+	net := NewSquare(8)
+	w := net.Watch(ctx, WithWatchBuffer(2))
+	defer w.Close()
+	for i := 0; i < 5; i++ {
+		if err := net.AddFault(C(i, 0)); err != nil {
+			t.Fatalf("fault %d: %v", i, err)
+		}
+	}
+	// Versions 2..6 published; buffer keeps the last two: 5 (gap), 6.
+	ev, err := w.Next(ctx)
+	if err != nil {
+		t.Fatalf("next: %v", err)
+	}
+	if ev.Version != 5 || !ev.Gap {
+		t.Fatalf("first retained event = %+v, want version 5 with Gap", ev)
+	}
+	ev, err = w.Next(ctx)
+	if err != nil {
+		t.Fatalf("next: %v", err)
+	}
+	if ev.Version != 6 || ev.Gap {
+		t.Fatalf("second retained event = %+v, want version 6 without Gap", ev)
+	}
+	if st := net.Stats(); st.WatchEventsDropped != 3 {
+		t.Fatalf("Stats.WatchEventsDropped = %d, want 3", st.WatchEventsDropped)
+	}
+}
+
+// TestWatchCloseAndCancel: Close ends the stream with ErrWatchClosed
+// (after buffered events drain); a canceled watch context ends it with
+// ErrCanceled; both unregister the watcher.
+func TestWatchCloseAndCancel(t *testing.T) {
+	ctx := context.Background()
+	net := NewSquare(8)
+
+	w := net.Watch(ctx)
+	if st := net.Stats(); st.Watchers != 1 {
+		t.Fatalf("Stats.Watchers = %d, want 1", st.Watchers)
+	}
+	if err := net.AddFault(C(1, 1)); err != nil {
+		t.Fatalf("fault: %v", err)
+	}
+	w.Close()
+	if ev, err := w.Next(ctx); err != nil || ev.Version != 2 {
+		t.Fatalf("buffered event after Close = (%+v, %v), want version 2", ev, err)
+	}
+	if _, err := w.Next(ctx); !errors.Is(err, ErrWatchClosed) {
+		t.Fatalf("drained closed watch: %v, want ErrWatchClosed", err)
+	}
+	if err := w.Err(); !errors.Is(err, ErrWatchClosed) {
+		t.Fatalf("Err() = %v, want ErrWatchClosed", err)
+	}
+
+	wctx, cancel := context.WithCancel(ctx)
+	cw := net.Watch(wctx)
+	cancel()
+	if _, err := cw.Next(ctx); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("canceled watch Next = %v, want ErrCanceled", err)
+	}
+	// Both watchers must be unregistered; publications go nowhere.
+	if st := net.Stats(); st.Watchers != 0 {
+		t.Fatalf("Stats.Watchers after close/cancel = %d, want 0", st.Watchers)
+	}
+}
+
+// TestWatchDuringConcurrentApplyAndSwap races watch registration,
+// consumption, closing, and direct engine swaps (run under -race in the
+// race suite).
+func TestWatchDuringConcurrentApplyAndSwap(t *testing.T) {
+	ctx := context.Background()
+	net := NewSquare(8)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() { // committer
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			c := C(i%8, (i/8)%8)
+			_ = net.Apply(func(tx *Tx) error {
+				if tx.Faulty(c) {
+					return tx.RepairFault(c)
+				}
+				return tx.AddFault(c)
+			})
+		}
+	}()
+	go func() { // churning watchers
+		defer wg.Done()
+		for i := 0; i < 40; i++ {
+			w := net.Watch(ctx, WithWatchBuffer(4))
+			last := uint64(0)
+			for j := 0; j < 5; j++ {
+				ev, ok := w.Poll()
+				if !ok {
+					break
+				}
+				if ev.Version <= last {
+					t.Errorf("watcher saw non-monotone version %d after %d", ev.Version, last)
+				}
+				last = ev.Version
+			}
+			w.Close()
+		}
+	}()
+	go func() { // a long-lived watcher consuming via Ready
+		defer wg.Done()
+		w := net.Watch(ctx)
+		defer w.Close()
+		last := uint64(0)
+		for {
+			select {
+			case <-stop:
+				return
+			case <-w.Ready():
+				for {
+					ev, ok := w.Poll()
+					if !ok {
+						break
+					}
+					if ev.Version <= last {
+						t.Errorf("ready consumer saw version %d after %d", ev.Version, last)
+						return
+					}
+					last = ev.Version
+				}
+			}
+		}
+	}()
+	for i := 0; i < 30; i++ {
+		net.Engine().Swap(net.Engine().Snapshot().Faults().Clone())
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestRestore locks the recovery constructor: the restored network serves
+// the given fault set at the given version, and new commits continue the
+// sequence (observed by both Stats and a watcher).
+func TestRestore(t *testing.T) {
+	ctx := context.Background()
+	faults := []Coord{C(2, 2), C(3, 3)}
+	net, err := Restore(8, 8, faults, 17, engine.Options{})
+	if err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	st := net.Stats()
+	if st.SnapshotVersion != 17 || st.PublishedFaults != 2 {
+		t.Fatalf("restored stats = %+v, want version 17 with 2 faults", st)
+	}
+	for _, c := range faults {
+		if !net.Faulty(c) {
+			t.Fatalf("restored fault %v not faulty", c)
+		}
+	}
+	w := net.Watch(ctx)
+	defer w.Close()
+	if err := net.AddFault(C(5, 5)); err != nil {
+		t.Fatalf("fault: %v", err)
+	}
+	ev, err := w.Next(ctx)
+	if err != nil || ev.Version != 18 {
+		t.Fatalf("post-restore event = (%+v, %v), want version 18", ev, err)
+	}
+
+	for _, bad := range []struct {
+		w, h    int
+		faults  []Coord
+		version uint64
+	}{
+		{0, 8, nil, 1},
+		{8, 8, []Coord{C(9, 0)}, 1},
+		{8, 8, nil, 0},
+	} {
+		if _, err := Restore(bad.w, bad.h, bad.faults, bad.version, engine.Options{}); err == nil {
+			t.Fatalf("Restore(%+v) accepted", bad)
+		}
+	}
+}
