@@ -13,9 +13,18 @@ BENCH_PKGS ?= . ./internal/spath ./internal/server
 # which re-ran each benchmark function (and its fixture setup) several
 # times — the seeded bench-json run spent 159s on one benchmark that way.
 # The expensive 100x100/1500-fault engine is also built once per binary
-# now (see benchFix in bench_test.go), so the full bench-json suite
-# finishes in well under two minutes.
+# now (see benchFix in bench_test.go).
 BENCH_TIME ?= 50x
+# The fault-commit benchmarks run a 1000x1000-mesh snapshot rebuild per
+# iteration (BenchmarkApplyFullRebuild pays a multi-second full
+# precompute each time), so they get their own, much smaller iteration
+# count and a separate invocation.
+APPLY_BENCH_PATTERN ?= BenchmarkApply
+APPLY_BENCH_TIME ?= 2x
+# Samples per benchmark: single-count runs hide regressions in variance,
+# so bench-json and bench-compare repeat every benchmark BENCH_COUNT
+# times and benchstat's significance filter does the judging.
+BENCH_COUNT ?= 6
 # benchstat baseline ref for bench-compare.
 BENCH_BASE ?= origin/main
 
@@ -71,12 +80,17 @@ bench-smoke:
 # via -benchmem). This file seeds the BENCH_*.json measurement trajectory
 # — commit snapshots to track routing throughput across PRs.
 bench-json:
-	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime $(BENCH_TIME) -benchmem -json $(BENCH_PKGS) > $(BENCH_JSON)
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime $(BENCH_TIME) -count $(BENCH_COUNT) -benchmem -json $(BENCH_PKGS) > $(BENCH_JSON)
+	$(GO) test -run '^$$' -bench '$(APPLY_BENCH_PATTERN)' -benchtime $(APPLY_BENCH_TIME) -count $(BENCH_COUNT) -benchmem -json . >> $(BENCH_JSON)
 	@echo "wrote $(BENCH_JSON)"
 
-# Local old-vs-new benchmark comparison against $(BENCH_BASE) via
-# benchstat (skipped with a hint when benchstat is not installed). CI runs
-# the same comparison as a non-blocking job on every PR.
+# Old-vs-new benchmark comparison against $(BENCH_BASE) via benchstat
+# (skipped with a hint when benchstat is not installed). Each side runs
+# $(BENCH_COUNT) samples per benchmark; the target then FAILS when
+# benchstat reports a statistically significant sec/op regression —
+# rows benchstat marks "~" (not significant at its default alpha) never
+# gate, so noise can't fail the build but a real slowdown does. CI runs
+# this same target on every PR.
 bench-compare:
 	@if ! command -v benchstat >/dev/null 2>&1; then \
 		echo "benchstat not installed; skipping (go install golang.org/x/perf/cmd/benchstat@latest)"; \
@@ -84,9 +98,15 @@ bench-compare:
 	fi; \
 	tmp=$$(mktemp -d); status=1; \
 	if git worktree add -q $$tmp/base $(BENCH_BASE); then \
-		( cd $$tmp/base && $(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime $(BENCH_TIME) -count 3 -benchmem ./... > $$tmp/old.txt 2>/dev/null || true ); \
-		if $(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime $(BENCH_TIME) -count 3 -benchmem $(BENCH_PKGS) > $$tmp/new.txt && \
-			benchstat $$tmp/old.txt $$tmp/new.txt; then status=0; fi; \
+		( cd $$tmp/base && $(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime $(BENCH_TIME) -count $(BENCH_COUNT) -benchmem ./... > $$tmp/old.txt 2>/dev/null || true ); \
+		( cd $$tmp/base && $(GO) test -run '^$$' -bench '$(APPLY_BENCH_PATTERN)' -benchtime $(APPLY_BENCH_TIME) -count $(BENCH_COUNT) -benchmem . >> $$tmp/old.txt 2>/dev/null || true ); \
+		if $(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime $(BENCH_TIME) -count $(BENCH_COUNT) -benchmem $(BENCH_PKGS) > $$tmp/new.txt && \
+			$(GO) test -run '^$$' -bench '$(APPLY_BENCH_PATTERN)' -benchtime $(APPLY_BENCH_TIME) -count $(BENCH_COUNT) -benchmem . >> $$tmp/new.txt; then \
+			benchstat $$tmp/old.txt $$tmp/new.txt; \
+			if benchstat -filter '.unit:sec/op' $$tmp/old.txt $$tmp/new.txt | grep -E '\+[0-9.]+% \(p='; then \
+				echo "bench-compare: FAIL: significant sec/op regression vs $(BENCH_BASE) (rows above)"; \
+			else status=0; fi; \
+		fi; \
 		git worktree remove --force $$tmp/base; \
 	fi; \
 	rm -rf $$tmp; exit $$status

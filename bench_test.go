@@ -339,3 +339,76 @@ func BenchmarkAblationBorderPolicy(b *testing.B) {
 		})
 	}
 }
+
+// applyFix is the fault-commit fixture: a 1000x1000 mesh with 256
+// background faults — the commit-latency scale from ROADMAP item 2 —
+// plus a 4-cell delta clear of the background set. Built once per test
+// binary and shared by the Apply benchmarks, which measure what one
+// committed fault transaction costs on the incremental path versus the
+// full-precompute path it replaced.
+var applyFix struct {
+	once  sync.Once
+	f     *fault.Set
+	delta []mesh.Coord
+}
+
+func applyFixture(b *testing.B) {
+	b.Helper()
+	applyFix.once.Do(func() {
+		m := mesh.New(1000, 1000)
+		applyFix.f = fault.Uniform{}.Generate(m, 256, rand.New(rand.NewSource(2)))
+		rng := rand.New(rand.NewSource(3))
+		seen := make(map[mesh.Coord]bool)
+		for len(applyFix.delta) < 4 {
+			c := mesh.C(rng.Intn(1000), rng.Intn(1000))
+			if !applyFix.f.Faulty(c) && !seen[c] {
+				seen[c] = true
+				applyFix.delta = append(applyFix.delta, c)
+			}
+		}
+	})
+}
+
+// BenchmarkApplySmallDelta measures one committed 4-fault transaction on
+// the delta-scoped rebuild path: alternate iterations add and repair the
+// same 4 cells, so every Swap sees a 4-cell delta against the published
+// snapshot.
+func BenchmarkApplySmallDelta(b *testing.B) {
+	applyFixture(b)
+	f := applyFix.f.Clone()
+	r := engine.New(f, engine.Options{Models: []info.Model{info.B2}})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, c := range applyFix.delta {
+			if i%2 == 0 {
+				f.Add(c)
+			} else {
+				f.Remove(c)
+			}
+		}
+		r.Swap(f)
+	}
+	b.StopTimer()
+	if st := r.RebuildStats(); st.FullBuilds != 0 {
+		b.Fatalf("4-cell deltas must stay on the incremental path: %+v", st)
+	}
+}
+
+// BenchmarkApplyFullRebuild measures the same 4-fault commit paid as a
+// from-scratch snapshot build — the pre-incremental cost of every
+// transaction, kept as the bench-compare baseline for the ratio.
+func BenchmarkApplyFullRebuild(b *testing.B) {
+	applyFixture(b)
+	f := applyFix.f.Clone()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, c := range applyFix.delta {
+			if i%2 == 0 {
+				f.Add(c)
+			} else {
+				f.Remove(c)
+			}
+		}
+		engine.NewSnapshot(f, engine.Options{Models: []info.Model{info.B2}})
+	}
+}

@@ -1,9 +1,12 @@
 // Command meshload is an open-loop load generator for meshd. It creates
 // (or recreates) a mesh, injects an initial fault configuration, fires
 // route requests from a worker pool — at a fixed arrival rate or
-// closed-loop — and optionally churns the fault configuration with
-// atomic transactions mid-run, the serving regime the engine's snapshot
-// architecture is built for. It reports throughput, latency percentiles,
+// closed-loop — and optionally churns the fault configuration mid-run,
+// the serving regime the engine's snapshot architecture is built for.
+// Each churn tick is one atomic transaction that repairs the previous
+// rotation's faults and adds a fresh random set, so the steady-state
+// fault count stays at -churn-faults for the whole run (and each commit
+// is a bounded delta, exercising the engine's incremental rebuild). It reports throughput, latency percentiles,
 // and a per-wire-code response tally, and exits non-zero when any
 // response leaks outside the documented taxonomy (5xx, transport
 // failures, unknown codes) — which makes it the CI smoke gate.
@@ -99,8 +102,8 @@ func main() {
 	workers := flag.Int("workers", 16, "concurrent request workers")
 	oracle := flag.Bool("oracle", false, "request BFS oracle reports (off = serving hot path)")
 	algo := flag.String("algo", "rb2", "routing algorithm: ecube, rb1, rb2, rb3")
-	churn := flag.Duration("churn", 0, "apply a fault transaction every interval (0 = off; with -journal, 0 = replay back-to-back)")
-	churnFaults := flag.Int("churn-faults", -1, "faults per churn transaction (-1 = same as -faults)")
+	churn := flag.Duration("churn", 0, "rotate the fault configuration every interval (0 = off; with -journal, 0 = replay back-to-back)")
+	churnFaults := flag.Int("churn-faults", -1, "steady-state fault count under churn (-1 = same as -faults)")
 	journalDir := flag.String("journal", "", "replay this recorded journal dir (a meshd -data-dir mesh subdirectory) as the churn source")
 	keep := flag.Bool("keep", false, "keep the mesh registered after the run")
 	flag.Parse()
@@ -272,23 +275,58 @@ func main() {
 			}
 		}()
 	} else if *churn > 0 {
+		if *churnFaults >= width*height {
+			fail("-churn-faults %d would disable the whole %dx%d mesh", *churnFaults, width, height)
+		}
+		// Each tick commits ONE atomic transaction that repairs the
+		// previous rotation's faults and adds a fresh random set, so the
+		// steady-state fault count stays pinned at -churn-faults instead
+		// of degrading the mesh over a long run. The seeded configuration
+		// is fetched once up front to become the first rotation — churn
+		// never stacks on top of the baseline.
+		prev, err := getFaults(client, base+"/v1/meshes/"+*meshName+"/faults")
+		if err != nil {
+			fail("fetch seeded faults: %v", err)
+		}
 		go func() {
 			txns := 0
 			ticker := time.NewTicker(*churn)
 			defer ticker.Stop()
 			defer func() { churnDone <- txns }()
-			for i := int64(1); ; i++ {
+			rng := rand.New(rand.NewSource(*seed * 1000003))
+			for {
 				select {
 				case <-stop:
 					return
 				case <-ticker.C:
 				}
+				fresh := make([]coord, 0, *churnFaults)
+				seen := make(map[coord]bool, *churnFaults)
+				for len(fresh) < *churnFaults {
+					c := coord{X: rng.Intn(width), Y: rng.Intn(height)}
+					if !seen[c] {
+						seen[c] = true
+						fresh = append(fresh, c)
+					}
+				}
+				// Repairs first: a fresh coord colliding with an outgoing
+				// one is repaired then re-added, netting to faulty.
+				ops := make([]map[string]any, 0, len(prev)+len(fresh))
+				for _, c := range prev {
+					ops = append(ops, map[string]any{"op": "repair", "at": map[string]any{"x": c.X, "y": c.Y}})
+				}
+				for _, c := range fresh {
+					ops = append(ops, map[string]any{"op": "add", "at": map[string]any{"x": c.X, "y": c.Y}})
+				}
 				status, body := post(client, base+"/v1/meshes/"+*meshName+"/faults",
-					map[string]any{"ops": []map[string]any{{"op": "inject_random", "count": *churnFaults, "seed": *seed + i}}})
+					map[string]any{"ops": ops})
 				if status != http.StatusOK {
+					// The transaction is atomic: nothing committed, so the
+					// outgoing rotation is still published. Keep prev.
 					fmt.Fprintf(os.Stderr, "meshload: churn transaction: HTTP %d: %s\n", status, body)
 					continue
 				}
+				prev = fresh
 				txns++
 			}
 		}()
@@ -421,6 +459,26 @@ func countReplayable(recs []journal.Record) int {
 		}
 	}
 	return n
+}
+
+// getFaults fetches the mesh's current fault list (the wire FaultList).
+func getFaults(client *http.Client, url string) ([]coord, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	var list struct {
+		Faults []coord `json:"faults"`
+	}
+	if err := json.Unmarshal(body, &list); err != nil {
+		return nil, fmt.Errorf("decode fault list: %v", err)
+	}
+	return list.Faults, nil
 }
 
 // post sends one JSON POST and returns the status and body.

@@ -81,6 +81,12 @@ type Snapshot struct {
 	scratch  sync.Pool
 	oracle   *spath.Oracle
 	metrics  Metrics
+
+	// delta, when hasDelta is set, is the exact fault transition against
+	// the snapshot this one was built from. Router-built snapshots carry
+	// it so publishLocked can feed OnPublish without re-diffing the sets.
+	delta    Delta
+	hasDelta bool
 }
 
 // NewSnapshot clones f and precomputes the analysis under the given
@@ -96,6 +102,13 @@ func NewSnapshot(f *fault.Set, opts Options) *Snapshot {
 		metrics:  opts.Metrics,
 	}
 }
+
+// fullRebuildFactor gates the delta-scoped snapshot path: when the delta
+// touches at least nodes/fullRebuildFactor cells, a from-scratch
+// precompute is at least as cheap as chasing the delta's consequences
+// (inject_random replaces the whole working set, for example), so the
+// router falls back to a full precompute.
+const fullRebuildFactor = 4
 
 // Faults returns the snapshot's fault set. Callers must treat it as
 // read-only.
@@ -207,6 +220,82 @@ type Router struct {
 	mu   sync.Mutex // serializes writers; readers never take it
 	vers atomic.Uint64
 	opts Options
+
+	// Cumulative rebuild/oracle accounting across every snapshot this
+	// router publishes. The oracle hit/miss pair is threaded into each
+	// snapshot's oracle (spath.NewOracleShared), so the served hit rate
+	// stays monotone across publications instead of resetting — the
+	// attribution bug /varz used to expose.
+	oracleHits    atomic.Uint64
+	oracleMisses  atomic.Uint64
+	rebuildCells  atomic.Uint64 // labeling cells examined by delta-scoped rebuilds
+	oracleCarried atomic.Uint64 // BFS fields carried across oracle rebases
+	deltaBuilds   atomic.Uint64 // publications served by the incremental path
+	fullBuilds    atomic.Uint64 // publications that fell back to full precompute
+}
+
+// RebuildStats is the router's cumulative delta-rebuild and oracle
+// accounting, all monotone counters.
+type RebuildStats struct {
+	// OracleHits / OracleMisses accumulate across every published
+	// snapshot's oracle, so OracleHits/(OracleHits+OracleMisses) is a
+	// meaningful served rate even when a scrape straddles a publication.
+	OracleHits, OracleMisses uint64
+	// RebuildCells counts labeling cells examined by delta-scoped
+	// rebuilds (all four orientations).
+	RebuildCells uint64
+	// OracleCarried counts BFS distance fields carried forward by oracle
+	// rebases instead of being recomputed.
+	OracleCarried uint64
+	// DeltaBuilds / FullBuilds count publications by rebuild path.
+	DeltaBuilds, FullBuilds uint64
+}
+
+// RebuildStats returns the cumulative counters. Safe for concurrent use.
+func (r *Router) RebuildStats() RebuildStats {
+	return RebuildStats{
+		OracleHits:    r.oracleHits.Load(),
+		OracleMisses:  r.oracleMisses.Load(),
+		RebuildCells:  r.rebuildCells.Load(),
+		OracleCarried: r.oracleCarried.Load(),
+		DeltaBuilds:   r.deltaBuilds.Load(),
+		FullBuilds:    r.fullBuilds.Load(),
+	}
+}
+
+// buildSnapshotLocked constructs the next snapshot for f against the
+// currently published one. Small deltas take the incremental path —
+// routing.RebuildFrom over the exact fault diff plus an oracle rebase
+// that carries provably-unchanged distance fields; large deltas (at
+// least nodes/fullRebuildFactor cells, e.g. an inject_random replacing
+// the whole working set) fall back to a full precompute, which is
+// cheaper than chasing their consequences. Callers hold r.mu so the
+// delta is computed against the snapshot that publishLocked will
+// replace.
+func (r *Router) buildSnapshotLocked(f *fault.Set) *Snapshot {
+	prev := r.snap.Load()
+	frozen := f.Clone()
+	adds, repairs := fault.Diff(prev.faults, frozen)
+	s := &Snapshot{
+		faults:   frozen,
+		metrics:  r.opts.Metrics,
+		delta:    Delta{Adds: adds, Repairs: repairs},
+		hasDelta: true,
+	}
+	if fullRebuildFactor*(len(adds)+len(repairs)) >= frozen.Mesh().Nodes() {
+		s.analysis = routing.NewAnalysisWithPolicy(frozen, r.opts.Border).Precompute(r.opts.Models...)
+		s.oracle = spath.NewOracleShared(frozen, r.opts.OracleBound, &r.oracleHits, &r.oracleMisses)
+		r.fullBuilds.Add(1)
+		return s
+	}
+	a, st := routing.RebuildFrom(prev.analysis, frozen, adds, repairs, r.opts.Models...)
+	oracle, carried := prev.oracle.Rebase(frozen, adds, repairs)
+	s.analysis = a
+	s.oracle = oracle
+	r.rebuildCells.Add(uint64(st.Cells))
+	r.oracleCarried.Add(uint64(carried))
+	r.deltaBuilds.Add(1)
+	return s
 }
 
 // New builds a Router serving the given fault configuration. The set is
@@ -224,6 +313,9 @@ func New(f *fault.Set, opts Options) *Router {
 		r.vers.Store(opts.StartVersion - 1)
 	}
 	s := NewSnapshot(f, opts)
+	// Thread the router-owned counters into the initial oracle so every
+	// rebased generation keeps accumulating into the same pair.
+	s.oracle = spath.NewOracleShared(s.faults, opts.OracleBound, &r.oracleHits, &r.oracleMisses)
 	s.version = r.vers.Add(1)
 	r.snap.Store(s)
 	return r
@@ -242,14 +334,15 @@ func (r *Router) Mesh() mesh.Mesh { return r.Snapshot().analysis.Mesh() }
 
 // Swap publishes a snapshot of f as the new routing state, returning the
 // published snapshot. In-flight readers keep their old snapshot; new calls
-// see the new one. The expensive analysis precomputation happens before
-// the atomic publication, so readers are never exposed to a half-built
-// analysis.
+// see the new one. The analysis reconstruction — delta-scoped against the
+// outgoing snapshot, or a full precompute for wholesale replacements —
+// happens before the atomic publication, so readers are never exposed to
+// a half-built analysis; they are never blocked, only the next writer is.
 func (r *Router) Swap(f *fault.Set) *Snapshot {
-	s := NewSnapshot(f, r.opts)
 	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.buildSnapshotLocked(f)
 	r.publishLocked(s)
-	r.mu.Unlock()
 	return s
 }
 
@@ -261,6 +354,11 @@ func (r *Router) publishLocked(s *Snapshot) {
 	s.version = r.vers.Add(1)
 	r.snap.Store(s)
 	if r.opts.OnPublish != nil && (r.opts.OnPublishNeeded == nil || r.opts.OnPublishNeeded()) {
+		if s.hasDelta {
+			// Router-built snapshots carry the diff from their rebuild.
+			r.opts.OnPublish(s.version, s.delta)
+			return
+		}
 		adds, repairs := fault.Diff(old.faults, s.faults)
 		r.opts.OnPublish(s.version, Delta{Adds: adds, Repairs: repairs})
 	}
@@ -274,7 +372,7 @@ func (r *Router) Update(mutate func(*fault.Set)) *Snapshot {
 	defer r.mu.Unlock()
 	next := r.snap.Load().faults.Clone()
 	mutate(next)
-	s := NewSnapshot(next, r.opts) // NewSnapshot clones again; harmless
+	s := r.buildSnapshotLocked(next) // clones again; harmless
 	r.publishLocked(s)
 	return s
 }

@@ -52,7 +52,7 @@ func inExtendedForbiddenX(f *mcc.MCC, n mesh.Coord) bool {
 
 // floodForbiddenY broadcasts f's R_Y triples through the forbidden region
 // of f merged with the regions of the joined components.
-func (s *Store) floodForbiddenY(f *mcc.MCC, joined []*mcc.MCC) {
+func (s *Store) floodForbiddenY(f *mcc.MCC, joined []*mcc.MCC, seeds []mesh.Coord) {
 	region := func(n mesh.Coord) bool {
 		if inExtendedForbiddenY(f, n) {
 			return true
@@ -64,11 +64,11 @@ func (s *Store) floodForbiddenY(f *mcc.MCC, joined []*mcc.MCC) {
 		}
 		return false
 	}
-	s.flood(region, Triple{F: f, Kind: RYMinusX}, Triple{F: f, Kind: RYPlusX})
+	s.flood(region, seeds, Triple{F: f, Kind: RYMinusX}, Triple{F: f, Kind: RYPlusX})
 }
 
 // floodForbiddenX broadcasts f's R_X triples through the transposed region.
-func (s *Store) floodForbiddenX(f *mcc.MCC, joined []*mcc.MCC) {
+func (s *Store) floodForbiddenX(f *mcc.MCC, joined []*mcc.MCC, seeds []mesh.Coord) {
 	region := func(n mesh.Coord) bool {
 		if inExtendedForbiddenX(f, n) {
 			return true
@@ -80,34 +80,32 @@ func (s *Store) floodForbiddenX(f *mcc.MCC, joined []*mcc.MCC) {
 		}
 		return false
 	}
-	s.flood(region, Triple{F: f, Kind: RXMinusY}, Triple{F: f, Kind: RXPlusY})
+	s.flood(region, seeds, Triple{F: f, Kind: RXMinusY}, Triple{F: f, Kind: RXPlusY})
 }
 
-// flood seeds from every node already holding one of the given triples and
-// relays through safe region nodes, depositing both triples (the flooded
-// node learns the full identified information). Every link crossing is
-// charged, including rejected duplicates arriving at already-informed
-// nodes, matching how a real broadcast spends messages.
-func (s *Store) flood(region func(mesh.Coord) bool, ts ...Triple) {
+// flood seeds from every node already holding one of the given triples —
+// the caller passes those positions directly (the boundary walks' accepted
+// deposits), so seeding costs O(boundary length) instead of a scan over
+// every node's triple list — and relays through safe region nodes,
+// depositing both triples (the flooded node learns the full identified
+// information). Every link crossing is charged, including rejected
+// duplicates arriving at already-informed nodes, matching how a real
+// broadcast spends messages.
+func (s *Store) flood(region func(mesh.Coord) bool, seeds []mesh.Coord, ts ...Triple) {
 	var frontier []mesh.Coord
 	seeded := make(map[int]bool)
-	for idx := range s.triples {
-		for _, have := range s.triples[idx] {
-			for _, t := range ts {
-				if have == t {
-					c := s.m.CoordOf(idx)
-					if !seeded[idx] {
-						seeded[idx] = true
-						frontier = append(frontier, c)
-						// The flood brings the fully identified information
-						// to the boundary nodes too: a -X boundary node
-						// learns the +X side's triple and vice versa.
-						for _, dep := range ts {
-							s.deposit(c, dep)
-						}
-					}
-				}
-			}
+	for _, c := range seeds {
+		idx := s.m.Index(c)
+		if seeded[idx] {
+			continue
+		}
+		seeded[idx] = true
+		frontier = append(frontier, c)
+		// The flood brings the fully identified information to the
+		// boundary nodes too: a -X boundary node learns the +X side's
+		// triple and vice versa.
+		for _, dep := range ts {
+			s.deposit(c, dep)
 		}
 	}
 	var nbuf [4]mesh.Coord
@@ -115,7 +113,7 @@ func (s *Store) flood(region func(mesh.Coord) bool, ts ...Triple) {
 		cur := frontier[0]
 		frontier = frontier[1:]
 		for _, n := range s.m.Neighbors(cur, nbuf[:0]) {
-			if !region(n) || !s.grid.Safe(n) {
+			if !region(n) || !s.safeAt(n) {
 				continue
 			}
 			idx := s.m.Index(n)

@@ -136,6 +136,60 @@ type Store struct {
 	visited      []bool // propagation participants (Figure 5(c) numerator)
 	participants int
 	messages     int64
+
+	// seedLog, when non-nil, collects the positions of accepted deposits.
+	// Build points it at a per-walk buffer so B2's flood can seed from the
+	// boundary deposits directly instead of scanning every node's triple
+	// list for them — the scan made Build Θ(components·nodes) and
+	// dominated full precompute on large meshes.
+	seedLog *[]mesh.Coord
+
+	// logs[id] records component id's full contribution (footprint,
+	// deposits, relations, accounting) so Rebuild can replay it verbatim
+	// when a fault delta provably cannot have changed it. cur points at
+	// the log of the component whose stages are currently executing.
+	logs []*compLog
+	cur  *compLog
+
+	// dedupStamp/dedupMask, when non-nil, replace the triple table as
+	// deposit's dedup device (newStoreDeferred): within one component's
+	// stage the triple F is fixed, so a per-node kind bitmask stamped
+	// with the component's epoch decides acceptance in O(1) without a
+	// materialized table. Rebuild nils both once assembled.
+	dedupStamp []uint32
+	dedupMask  []uint8
+	dedupEpoch uint32
+}
+
+// depRec is one accepted deposit of the logging component: the triple's F
+// is always the walking component itself, so only position and kind need
+// recording.
+type depRec struct {
+	idx  int32
+	kind Kind
+}
+
+// relRec is one accepted succeeding-MCC relation of the logging
+// component; the walking component is always the successor.
+type relRec struct {
+	pred   *mcc.MCC
+	typeII bool
+}
+
+// compLog is the exact contribution of one component's propagation
+// stages. The walks derive every decision from the component's own shape,
+// the shapes of the components they intersect (reads), and the safe
+// status of the positions they touch (footprint); if none of those
+// changed across a fault delta, replaying the log reproduces the stages
+// bit for bit — deposits and relations are logged post-dedup, so replay
+// is pure appends.
+type compLog struct {
+	footprint []int32    // in-mesh positions whose safe/membership status was consulted
+	visits    []int32    // safe positions visited (participants accounting)
+	deposits  []depRec   // accepted deposits, in order
+	reads     []*mcc.MCC // components whose shape the walks consulted
+	relations []relRec   // accepted relation records, in order
+	messages  int64      // link crossings charged
 }
 
 func newStore(model Model, set *mcc.Set) *Store {
@@ -149,6 +203,26 @@ func newStore(model Model, set *mcc.Set) *Store {
 		succOfY: make(map[int][]*mcc.MCC),
 		succOfX: make(map[int][]*mcc.MCC),
 		visited: make([]bool, m.Nodes()),
+	}
+}
+
+// newStoreDeferred is newStore minus the dynamic triple table: deposits
+// dedup through the epoch stamps and land only in the component logs;
+// assembleTriples materializes the table once, exactly sized, at the
+// end. Rebuild uses this — the per-deposit append churn of a dynamic
+// table was the dominant cost of replaying a large store.
+func newStoreDeferred(model Model, set *mcc.Set) *Store {
+	m := set.Grid().Mesh()
+	return &Store{
+		model:      model,
+		m:          m,
+		grid:       set.Grid(),
+		set:        set,
+		succOfY:    make(map[int][]*mcc.MCC),
+		succOfX:    make(map[int][]*mcc.MCC),
+		visited:    make([]bool, m.Nodes()),
+		dedupStamp: make([]uint32, m.Nodes()),
+		dedupMask:  make([]uint8, m.Nodes()),
 	}
 }
 
@@ -190,15 +264,49 @@ func (s *Store) Messages() int64 { return s.messages }
 func (s *Store) visit(c mesh.Coord, hop bool) {
 	if hop {
 		s.messages++
+		if s.cur != nil {
+			s.cur.messages++
+		}
 	}
-	if !s.m.In(c) || !s.grid.Safe(c) {
+	if !s.m.In(c) {
 		return
 	}
 	idx := s.m.Index(c)
+	if s.cur != nil {
+		s.cur.footprint = append(s.cur.footprint, int32(idx))
+	}
+	if !s.grid.Safe(c) {
+		return
+	}
+	if s.cur != nil {
+		s.cur.visits = append(s.cur.visits, int32(idx))
+	}
 	if !s.visited[idx] {
 		s.visited[idx] = true
 		s.participants++
 	}
+}
+
+// safeAt is grid.Safe with footprint logging, for safety consultations
+// that happen outside visit/deposit (the flood relay check).
+func (s *Store) safeAt(c mesh.Coord) bool {
+	if s.cur != nil && s.m.In(c) {
+		s.cur.footprint = append(s.cur.footprint, int32(s.m.Index(c)))
+	}
+	return s.grid.Safe(c)
+}
+
+// readComp records that the current component's walk consulted g's shape.
+func (s *Store) readComp(g *mcc.MCC) {
+	if s.cur == nil || g == nil {
+		return
+	}
+	for _, have := range s.cur.reads {
+		if have == g {
+			return
+		}
+	}
+	s.cur.reads = append(s.cur.reads, g)
 }
 
 // deposit stores a triple at c unless an identical one is already present
@@ -208,12 +316,37 @@ func (s *Store) deposit(c mesh.Coord, t Triple) {
 		return
 	}
 	idx := s.m.Index(c)
-	for _, have := range s.triples[idx] {
-		if have == t {
-			return
+	if s.dedupStamp != nil {
+		// Deferred-table mode: F is the walking component for the whole
+		// epoch, so (node, kind) decides equality.
+		bit := uint8(1) << t.Kind
+		if s.dedupStamp[idx] == s.dedupEpoch {
+			if s.dedupMask[idx]&bit != 0 {
+				return
+			}
+		} else {
+			s.dedupStamp[idx] = s.dedupEpoch
+			s.dedupMask[idx] = 0
 		}
+		s.dedupMask[idx] |= bit
+	} else {
+		for _, have := range s.triples[idx] {
+			if have == t {
+				return
+			}
+		}
+		s.triples[idx] = append(s.triples[idx], t)
 	}
-	s.triples[idx] = append(s.triples[idx], t)
+	// Footprint is not re-logged here: every deposit site was visited by
+	// the same component immediately before (walks pair visit+deposit, and
+	// flood seeds were boundary deposit sites), so visit already recorded
+	// the position.
+	if s.cur != nil {
+		s.cur.deposits = append(s.cur.deposits, depRec{idx: int32(idx), kind: t.Kind})
+	}
+	if s.seedLog != nil {
+		*s.seedLog = append(*s.seedLog, c)
+	}
 }
 
 // addRelation records pred -> succ for the given axis, deduplicated.
@@ -228,30 +361,67 @@ func (s *Store) addRelation(pred, succ *mcc.MCC, typeII bool) {
 		}
 	}
 	tbl[pred.ID] = append(tbl[pred.ID], succ)
+	if s.cur != nil {
+		s.cur.relations = append(s.cur.relations, relRec{pred: pred, typeII: typeII})
+	}
 }
 
-// Build constructs the chosen information model over an MCC set.
+// Build constructs the chosen information model over an MCC set. Every
+// component's contribution is logged as it executes, so a later Rebuild
+// against a fault delta can replay untouched components instead of
+// re-walking them.
 func Build(model Model, set *mcc.Set) *Store {
 	s := newStore(model, set)
+	s.logs = make([]*compLog, set.Len())
+	for i := range s.logs {
+		s.logs[i] = &compLog{}
+	}
 	for _, f := range set.All() {
+		s.cur = s.logs[f.ID]
 		s.identificationWalks(f)
 	}
+	var seeds seedBufs // reused across components under B2
 	for _, f := range set.All() {
-		switch model {
-		case B1:
-			s.boundaryMinusX(f, false)
-			s.boundaryMinusY(f, false)
-		case B2:
-			joinedX := s.boundaryMinusX(f, false)
-			joinedY := s.boundaryMinusY(f, false)
-			joinedX = append(joinedX, s.boundaryPlusX(f)...)
-			joinedY = append(joinedY, s.boundaryPlusY(f)...)
-			s.floodForbiddenY(f, joinedX)
-			s.floodForbiddenX(f, joinedY)
-		case B3:
-			s.boundaryMinusX(f, true)
-			s.boundaryMinusY(f, true)
-		}
+		s.cur = s.logs[f.ID]
+		s.buildComp(f, &seeds)
 	}
+	s.cur = nil
 	return s
+}
+
+// seedBufs holds the reusable flood-seed buffers of the B2 build loop.
+type seedBufs struct {
+	y, x []mesh.Coord
+}
+
+// buildComp runs the boundary (and, under B2, flood) stage for one
+// component — the per-component unit Build executes in ID order and
+// Rebuild either re-executes or replays from its log.
+func (s *Store) buildComp(f *mcc.MCC, seeds *seedBufs) {
+	s.dedupEpoch++
+	switch s.model {
+	case B1:
+		s.boundaryMinusX(f, false)
+		s.boundaryMinusY(f, false)
+	case B2:
+		// Log each boundary pair's deposit positions: they are exactly
+		// the nodes holding f's triples when the floods run, i.e. the
+		// flood seeds.
+		seedsY, seedsX := seeds.y[:0], seeds.x[:0]
+		s.seedLog = &seedsY
+		joinedX := s.boundaryMinusX(f, false)
+		s.seedLog = &seedsX
+		joinedY := s.boundaryMinusY(f, false)
+		s.seedLog = &seedsY
+		joinedX = append(joinedX, s.boundaryPlusX(f)...)
+		s.seedLog = &seedsX
+		joinedY = append(joinedY, s.boundaryPlusY(f)...)
+		s.seedLog = nil
+		s.floodForbiddenY(f, joinedX, seedsY)
+		s.floodForbiddenX(f, joinedY, seedsX)
+		seeds.y, seeds.x = seedsY, seedsX
+	case B3:
+		s.boundaryMinusX(f, true)
+		s.boundaryMinusY(f, true)
+	}
 }

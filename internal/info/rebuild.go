@@ -1,0 +1,185 @@
+package info
+
+import (
+	"repro/internal/mcc"
+	"repro/internal/mesh"
+)
+
+// Rebuild constructs the store Build(prev.Model(), set) would produce,
+// replaying the logged contribution of every component whose inputs the
+// fault delta provably did not touch and re-walking only the rest.
+//
+// Arguments: prev is the store over the previous snapshot's MCC set,
+// set the new set, carried the old-to-new component provenance from
+// mcc.UpdateSet, and flipped the cells whose safe/unsafe status changed
+// (labeling.UpdateResult.UnsafeFlipped, in the store's canonical frame).
+//
+// A component's contribution replays when
+//
+//   - it survived the delta (present in carried, possibly ID-shifted:
+//     walks depend on shape, not identity),
+//   - its footprint — every position whose safe status or component
+//     membership the walks and floods consulted — avoids every flipped
+//     cell, and
+//   - every component whose shape it read also survived.
+//
+// Under those conditions the walk would re-execute identically, so its
+// accepted deposits, relations, visits, and message count are appended
+// verbatim (with component pointers remapped to the new set). Replays
+// and fresh walks interleave in new-ID order, which is exactly Build's
+// deposit order, so triple lists and relation tables come out in the
+// same order a from-scratch Build would produce — routing behavior that
+// is order-sensitive (findSequenceB3 tie-breaks) sees no difference.
+// prev is never mutated; replayed logs are shared read-only.
+func Rebuild(prev *Store, set *mcc.Set, carried map[*mcc.MCC]*mcc.MCC, flipped []mesh.Coord) *Store {
+	s := newStoreDeferred(prev.model, set)
+	s.logs = make([]*compLog, set.Len())
+
+	dirty := make([]bool, s.m.Nodes())
+	for _, c := range flipped {
+		dirty[s.m.Index(c)] = true
+	}
+	reverse := make(map[*mcc.MCC]*mcc.MCC, len(carried)) // new -> old
+	for old, nw := range carried {
+		reverse[nw] = old
+	}
+	replay := make([]*compLog, set.Len())
+	for _, f := range set.All() {
+		old := reverse[f]
+		if old == nil || prev.logs == nil || prev.logs[old.ID] == nil {
+			continue
+		}
+		lg := prev.logs[old.ID]
+		ok := true
+		for _, idx := range lg.footprint {
+			if dirty[idx] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			for _, g := range lg.reads {
+				if carried[g] == nil {
+					ok = false
+					break
+				}
+			}
+		}
+		if ok {
+			replay[f.ID] = remapLog(lg, carried)
+		}
+	}
+
+	// Identification walks for re-walked components only; a replayed log
+	// already folds its identification visits and messages in, and the
+	// totals are order-independent, so merging them during the boundary
+	// pass below reproduces Build's two-loop accounting exactly.
+	for _, f := range set.All() {
+		if replay[f.ID] != nil {
+			continue
+		}
+		s.logs[f.ID] = &compLog{}
+		s.cur = s.logs[f.ID]
+		s.identificationWalks(f)
+	}
+	var seeds seedBufs
+	for _, f := range set.All() {
+		if lg := replay[f.ID]; lg != nil {
+			s.logs[f.ID] = lg
+			s.replayMeta(f, lg)
+			continue
+		}
+		s.cur = s.logs[f.ID]
+		s.buildComp(f, &seeds)
+	}
+	s.cur = nil
+	s.assembleTriples()
+	s.dedupStamp, s.dedupMask = nil, nil // dedup scratch must not outlive the build
+	return s
+}
+
+// assembleTriples materializes the triple table from the component
+// logs, walked in stage order — Build's exact deposit order — backed by
+// a single arena sized from the logged totals. Nothing touched a
+// dynamic table during the walks (deposits deduped via the epoch
+// stamps and landed only in the logs), so this is the store's sole
+// per-deposit pass. A node absent from every log was deposited by
+// nobody and keeps its nil entry.
+func (s *Store) assembleTriples() {
+	cnt := make([]int32, s.m.Nodes())
+	total := 0
+	for _, lg := range s.logs {
+		total += len(lg.deposits)
+		for _, d := range lg.deposits {
+			cnt[d.idx]++
+		}
+	}
+	arena := make([]Triple, total)
+	// Fill through a compact cursor array — the random-access inner loop
+	// then touches 4-byte cursors instead of 24-byte slice headers — and
+	// set the headers in one sequential pass at the end.
+	cur := make([]int32, s.m.Nodes())
+	sum := int32(0)
+	for idx, c := range cnt {
+		cur[idx] = sum
+		sum += c
+	}
+	for _, f := range s.set.All() {
+		for _, d := range s.logs[f.ID].deposits {
+			arena[cur[d.idx]] = Triple{F: f, Kind: d.kind}
+			cur[d.idx]++
+		}
+	}
+	tr := make([][]Triple, s.m.Nodes())
+	s.triples = tr
+	start := int32(0)
+	for idx, c := range cnt {
+		if c != 0 {
+			tr[idx] = arena[start : start+c : start+c]
+		}
+		start += c
+	}
+}
+
+// remapLog rewrites a reusable log's component pointers into the new set
+// via the provenance map; position-keyed slices are shared read-only.
+func remapLog(lg *compLog, carried map[*mcc.MCC]*mcc.MCC) *compLog {
+	nl := &compLog{
+		footprint: lg.footprint,
+		visits:    lg.visits,
+		deposits:  lg.deposits,
+		messages:  lg.messages,
+		reads:     make([]*mcc.MCC, len(lg.reads)),
+	}
+	for i, g := range lg.reads {
+		nl.reads[i] = carried[g]
+	}
+	if len(lg.relations) > 0 {
+		nl.relations = make([]relRec, len(lg.relations))
+		for i, r := range lg.relations {
+			nl.relations[i] = relRec{pred: carried[r.pred], typeII: r.typeII}
+		}
+	}
+	return nl
+}
+
+// replayMeta applies one component's logged contribution minus its
+// deposits, which assembleTriples materializes for all components at
+// once. Relations were logged post-dedup and the successor of every
+// record is the walking component itself, so replay is append-only.
+func (s *Store) replayMeta(f *mcc.MCC, lg *compLog) {
+	s.messages += lg.messages
+	for _, idx := range lg.visits {
+		if !s.visited[idx] {
+			s.visited[idx] = true
+			s.participants++
+		}
+	}
+	for _, r := range lg.relations {
+		tbl := s.succOfY
+		if r.typeII {
+			tbl = s.succOfX
+		}
+		tbl[r.pred.ID] = append(tbl[r.pred.ID], f)
+	}
+}

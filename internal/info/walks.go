@@ -115,6 +115,7 @@ func (s *Store) boundaryMinusX(f *mcc.MCC, b3 bool) []*mcc.MCC {
 		pos := mesh.C(x, y)
 		s.visit(pos, true)
 		g := s.set.At(pos)
+		s.readComp(g)
 		if g == nil {
 			s.deposit(pos, t)
 			continue
@@ -231,6 +232,7 @@ func (s *Store) plusXFrom(f *mcc.MCC, x, y int) []*mcc.MCC {
 		pos := mesh.C(x, y)
 		s.visit(pos, true)
 		g := s.set.At(pos)
+		s.readComp(g)
 		if g == nil {
 			s.deposit(pos, t)
 			continue
@@ -280,6 +282,7 @@ func (s *Store) boundaryMinusY(f *mcc.MCC, b3 bool) []*mcc.MCC {
 		pos := mesh.C(x, y)
 		s.visit(pos, true)
 		g := s.set.At(pos)
+		s.readComp(g)
 		if g == nil {
 			s.deposit(pos, t)
 			continue
@@ -384,6 +387,7 @@ func (s *Store) plusYFrom(f *mcc.MCC, x, y int) []*mcc.MCC {
 		pos := mesh.C(x, y)
 		s.visit(pos, true)
 		g := s.set.At(pos)
+		s.readComp(g)
 		if g == nil {
 			s.deposit(pos, t)
 			continue

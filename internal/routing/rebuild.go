@@ -1,0 +1,97 @@
+package routing
+
+import (
+	"repro/internal/fault"
+	"repro/internal/info"
+	"repro/internal/labeling"
+	"repro/internal/mcc"
+	"repro/internal/mesh"
+)
+
+// RebuildStats reports what a delta-scoped rebuild actually did, for the
+// engine's /varz gauges.
+type RebuildStats struct {
+	// Cells is the number of cells the labeling fixpoint examined across
+	// all four orientations — the delta-scoped substitute for the 4*nodes
+	// cells a full precompute labels.
+	Cells int
+	// SharedStores counts information stores carried over wholesale
+	// (orientation's unsafe partition untouched by the delta).
+	SharedStores int
+}
+
+// RebuildFrom builds the Analysis for fault set f — prev's configuration
+// plus adds minus repairs — by delta-scoped reconstruction instead of a
+// full precompute. Per orientation it re-runs the labeling fixpoint
+// seeded from the delta's neighborhoods (labeling.Update), re-floods only
+// MCC regions touching flipped cells (mcc.UpdateSet), replays untouched
+// components' information-store contributions (info.Rebuild), and patches
+// the flat wall bitsets at exactly the flipped positions. Untouched rows,
+// regions, components, and whole stores are structurally shared with
+// prev, which is never mutated — concurrent readers of the previous
+// snapshot are unaffected.
+//
+// The result is identical to NewAnalysisWithPolicy(f, prev.policy).
+// Precompute(models...) — the rebuild-equivalence property test holds
+// this to byte-identical labels, MCC sets, bitsets, and routed paths.
+// Like Precompute, no models means all three.
+func RebuildFrom(prev *Analysis, f *fault.Set, adds, repairs []mesh.Coord, models ...info.Model) (*Analysis, RebuildStats) {
+	if len(models) == 0 {
+		models = []info.Model{info.B1, info.B2, info.B3}
+	}
+	a := &Analysis{m: prev.m, faults: f, policy: prev.policy}
+	var st RebuildStats
+
+	// Faulty bitset: copy and flip the delta positions.
+	fb := append([]uint64(nil), prev.faultyMask()...)
+	for _, c := range adds {
+		idx := a.m.Index(c)
+		fb[idx>>6] |= 1 << (uint(idx) & 63)
+	}
+	for _, c := range repairs {
+		idx := a.m.Index(c)
+		fb[idx>>6] &^= 1 << (uint(idx) & 63)
+	}
+	a.faultyBits = fb
+
+	oAdds := make([]mesh.Coord, len(adds))
+	oReps := make([]mesh.Coord, len(repairs))
+	for o := mesh.Orient(0); o < mesh.NumOrients; o++ {
+		for i, c := range adds {
+			oAdds[i] = o.To(a.m, c)
+		}
+		for i, c := range repairs {
+			oReps[i] = o.To(a.m, c)
+		}
+		res := labeling.Update(prev.Grid(o), oAdds, oReps)
+		a.grids[o] = res.Grid
+		st.Cells += res.Examined
+
+		set, carried := mcc.UpdateSet(prev.MCCs(o), res.Grid, res.UnsafeFlipped)
+		a.sets[o] = set
+
+		if len(res.UnsafeFlipped) == 0 {
+			// The orientation's safe/unsafe partition did not move: the
+			// bitset and every store are valid as-is (stores read only
+			// set geometry and Safe status).
+			a.unsafeBits[o] = prev.unsafeMask(o)
+			for _, mod := range models {
+				a.stores[mod][o] = prev.Store(mod, o)
+				st.SharedStores++
+			}
+			continue
+		}
+		ub := append([]uint64(nil), prev.unsafeMask(o)...)
+		for _, c := range res.UnsafeFlipped {
+			// UnsafeFlipped is in o's canonical frame; the bitset is
+			// indexed in the original frame.
+			idx := a.m.Index(o.From(a.m, c))
+			ub[idx>>6] ^= 1 << (uint(idx) & 63)
+		}
+		a.unsafeBits[o] = ub
+		for _, mod := range models {
+			a.stores[mod][o] = info.Rebuild(prev.Store(mod, o), set, carried, res.UnsafeFlipped)
+		}
+	}
+	return a, st
+}

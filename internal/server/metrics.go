@@ -5,6 +5,7 @@ import (
 	"time"
 
 	meshroute "repro"
+	"repro/internal/engine"
 	"repro/internal/routing"
 )
 
@@ -102,13 +103,26 @@ type MeshVarz struct {
 	// emitted inside 200 NDJSON batch streams — so the tally can exceed
 	// what HTTP access logs show.
 	Errors map[string]uint64 `json:"errors,omitempty"`
-	// OracleHits / OracleMisses are the distance-oracle counters of the
-	// CURRENT snapshot (a fault publication swaps in a fresh oracle, so
-	// these reset at every committed transaction).
+	// OracleHits / OracleMisses are the distance-oracle counters,
+	// accumulated router-side across fault publications: a committed
+	// transaction rebases the oracle into the new snapshot instead of
+	// discarding it, and every generation feeds the same totals, so the
+	// served hit rate is monotone in the queries actually answered.
 	OracleHits   uint64 `json:"oracle_hits"`
 	OracleMisses uint64 `json:"oracle_misses"`
 	// OracleHitRate is hits/(hits+misses), 0 when the oracle is unused.
 	OracleHitRate float64 `json:"oracle_hit_rate"`
+	// RebuildCells is the cumulative number of cells the delta-scoped
+	// labeling fixpoint examined across all incremental publications —
+	// the work actually done instead of 4*nodes per commit.
+	RebuildCells uint64 `json:"rebuild_cells"`
+	// OracleCarried counts warm BFS fields carried across publications
+	// because the committed delta provably could not change them.
+	OracleCarried uint64 `json:"oracle_carried"`
+	// DeltaBuilds / FullBuilds split committed publications by rebuild
+	// strategy (delta-scoped vs full precompute fallback).
+	DeltaBuilds uint64 `json:"delta_builds"`
+	FullBuilds  uint64 `json:"full_builds"`
 	// Faults and SnapshotVersion identify the published configuration.
 	Faults          int    `json:"faults"`
 	SnapshotVersion uint64 `json:"snapshot_version"`
@@ -145,14 +159,18 @@ type Varz struct {
 	Meshes        map[string]*MeshVarz `json:"meshes"`
 }
 
-// varz renders the collector against the mesh's current oracle and
-// network stats.
-func (c *collector) varz(oracleHits, oracleMisses uint64, st meshroute.Stats) *MeshVarz {
+// varz renders the collector against the mesh's cumulative rebuild
+// stats and network stats.
+func (c *collector) varz(rs engine.RebuildStats, st meshroute.Stats) *MeshVarz {
 	v := &MeshVarz{
 		Routes:             c.routes.Load(),
 		Delivered:          c.delivered.Load(),
-		OracleHits:         oracleHits,
-		OracleMisses:       oracleMisses,
+		OracleHits:         rs.OracleHits,
+		OracleMisses:       rs.OracleMisses,
+		RebuildCells:       rs.RebuildCells,
+		OracleCarried:      rs.OracleCarried,
+		DeltaBuilds:        rs.DeltaBuilds,
+		FullBuilds:         rs.FullBuilds,
 		Faults:             st.PublishedFaults,
 		SnapshotVersion:    st.SnapshotVersion,
 		Watchers:           st.Watchers,
@@ -161,8 +179,8 @@ func (c *collector) varz(oracleHits, oracleMisses uint64, st meshroute.Stats) *M
 	if v.Delivered > 0 {
 		v.MeanHops = float64(c.hops.Load()) / float64(v.Delivered)
 	}
-	if total := oracleHits + oracleMisses; total > 0 {
-		v.OracleHitRate = float64(oracleHits) / float64(total)
+	if total := rs.OracleHits + rs.OracleMisses; total > 0 {
+		v.OracleHitRate = float64(rs.OracleHits) / float64(total)
 	}
 	v.LatencyBuckets = make([]LatencyBucket, len(c.buckets))
 	for i := range c.buckets {

@@ -380,8 +380,7 @@ func (s *Server) Varz() Varz {
 		Meshes:        make(map[string]*MeshVarz, len(entries)),
 	}
 	for _, e := range entries {
-		hits, misses := e.net.Engine().Snapshot().Oracle().Stats()
-		mv := e.metrics.varz(hits, misses, e.net.Stats())
+		mv := e.metrics.varz(e.net.Engine().RebuildStats(), e.net.Stats())
 		if e.journal != nil {
 			js := e.journal.Stats()
 			mv.Journal = &JournalVarz{

@@ -629,6 +629,57 @@ func TestVarz(t *testing.T) {
 	}
 }
 
+// TestVarzRebuildGauges checks the incremental-rebuild gauges and the
+// hit-rate attribution fix: a fault publication must not reset the
+// oracle counters, and a delta the warm field provably cannot see keeps
+// it serving hits across the swap.
+func TestVarzRebuildGauges(t *testing.T) {
+	s := New(Config{})
+	mustCreate(t, s, "m", 9, 9)
+	// Wall on column 4: two disconnected halves, published incrementally.
+	wall := make([]string, 0, 9)
+	for y := 0; y < 9; y++ {
+		wall = append(wall, fmt.Sprintf(`{"op":"add","at":{"x":4,"y":%d}}`, y))
+	}
+	mustFaults(t, s, "m", strings.Join(wall, ","))
+
+	// Warm one BFS field in the west half: 1 miss, then hits.
+	for i := 0; i < 3; i++ {
+		if rec := do(t, s, "POST", "/v1/meshes/m/route", `{"src":{"x":1,"y":1},"dst":{"x":1,"y":7}}`); rec.Code != http.StatusOK {
+			t.Fatalf("route %d: HTTP %d: %s", i, rec.Code, rec.Body)
+		}
+	}
+	var v0 Varz
+	decode(t, do(t, s, "GET", "/varz", ""), &v0)
+	m0 := v0.Meshes["m"]
+	if m0.DeltaBuilds == 0 || m0.RebuildCells == 0 {
+		t.Fatalf("wall publication should be delta-scoped: %+v", m0)
+	}
+	if m0.OracleHits < 2 || m0.OracleMisses == 0 {
+		t.Fatalf("warmup hits=%d misses=%d, want cache reuse", m0.OracleHits, m0.OracleMisses)
+	}
+
+	// Publish a delta confined to the east half, then hit the carried
+	// west field again.
+	mustFaults(t, s, "m", `{"op":"add","at":{"x":7,"y":7}}`)
+	if rec := do(t, s, "POST", "/v1/meshes/m/route", `{"src":{"x":1,"y":1},"dst":{"x":1,"y":7}}`); rec.Code != http.StatusOK {
+		t.Fatalf("post-publish route: HTTP %d: %s", rec.Code, rec.Body)
+	}
+	var v1 Varz
+	decode(t, do(t, s, "GET", "/varz", ""), &v1)
+	m1 := v1.Meshes["m"]
+	if m1.OracleCarried == 0 {
+		t.Fatalf("east-half delta should carry the west field: %+v", m1)
+	}
+	if m1.OracleHits <= m0.OracleHits || m1.OracleMisses != m0.OracleMisses {
+		t.Fatalf("hits %d->%d misses %d->%d, want monotone hits on the carried field and no new miss",
+			m0.OracleHits, m1.OracleHits, m0.OracleMisses, m1.OracleMisses)
+	}
+	if m1.OracleHitRate <= m0.OracleHitRate {
+		t.Fatalf("hit rate regressed across publication: %v -> %v", m0.OracleHitRate, m1.OracleHitRate)
+	}
+}
+
 // TestRequestContextCancel verifies a client disconnect cancels the
 // in-flight request (CANCELED counted, no leak) — the same path Drain
 // uses, but per request.

@@ -21,8 +21,10 @@ const DefaultOracleBound = 256
 // fields.
 //
 // The fault set must not change underneath the oracle; internal/engine
-// hangs one Oracle off each immutable Snapshot, so a committed fault
-// transaction invalidates the cache for free by snapshot replacement.
+// hangs one Oracle off each immutable Snapshot. A committed fault
+// transaction does not have to discard the cache wholesale: Rebase
+// carries every field whose distances provably cannot have changed into
+// the oracle of the next snapshot.
 //
 // Concurrency: the source index is guarded by a mutex, but fields fill
 // outside it through a per-source once (singleflight) — concurrent
@@ -32,27 +34,60 @@ type Oracle struct {
 	f     *fault.Set
 	bound int
 
-	hits   atomic.Uint64 // queries served from an already-resident field
-	misses atomic.Uint64 // queries that had to create (and fill) a field
+	// The hit/miss counters live behind pointers so that an engine can
+	// hand every rebased generation of the oracle the same counters and
+	// report a monotone hit rate across snapshot publications. A
+	// stand-alone NewOracle owns its own pair.
+	hits   *atomic.Uint64 // queries served from an already-resident field
+	misses *atomic.Uint64 // queries that had to create (and fill) a field
 
 	mu     sync.Mutex
 	fields map[int]*oracleField // keyed by source mesh.Index
-	order  []int                // insertion order for FIFO eviction
+
+	// ring is a circular FIFO of the resident source indices (head is the
+	// oldest, count entries in use). The previous implementation kept the
+	// order in a plain slice and advanced it by reslicing the head away,
+	// which pins the evicted backing array forever and re-allocates the
+	// tail on every append — under eviction churn the "bounded" cache's
+	// order slice grew without bound. The ring reuses its storage.
+	ring  []int
+	head  int
+	count int
 }
 
 type oracleField struct {
 	once sync.Once
 	bfs  *BFS
+	// done flips after the BFS is resident. Eviction consults it to skip
+	// entries still filling: evicting a filling entry would let a second
+	// caller re-create and re-fill the same source concurrently, wasting
+	// a full BFS while the first fill is already underway.
+	done atomic.Bool
 }
 
 // NewOracle returns an empty oracle over f, caching at most bound
 // per-source fields (bound <= 0 means DefaultOracleBound). The caller
 // must stop mutating f.
 func NewOracle(f *fault.Set, bound int) *Oracle {
+	return NewOracleShared(f, bound, new(atomic.Uint64), new(atomic.Uint64))
+}
+
+// NewOracleShared is NewOracle with caller-owned hit/miss counters. The
+// engine threads one counter pair through every rebased oracle generation
+// of a mesh so the served hit rate is cumulative and monotone instead of
+// resetting at each snapshot publication.
+func NewOracleShared(f *fault.Set, bound int, hits, misses *atomic.Uint64) *Oracle {
 	if bound <= 0 {
 		bound = DefaultOracleBound
 	}
-	return &Oracle{f: f, bound: bound, fields: make(map[int]*oracleField)}
+	return &Oracle{
+		f:      f,
+		bound:  bound,
+		hits:   hits,
+		misses: misses,
+		fields: make(map[int]*oracleField),
+		ring:   make([]int, 0),
+	}
 }
 
 // Faults returns the frozen fault configuration the oracle answers for.
@@ -67,10 +102,45 @@ func (o *Oracle) Len() int {
 
 // Stats returns the cumulative hit/miss counters: a hit is a query served
 // from a field already resident in the cache, a miss is a query that had
-// to create one (and pay its BFS). The oracle is scoped to one snapshot,
-// so the counters reset naturally at every fault publication.
+// to create one (and pay its BFS). With NewOracleShared the counters span
+// every generation sharing them; a plain NewOracle's pair is scoped to
+// that oracle alone.
 func (o *Oracle) Stats() (hits, misses uint64) {
 	return o.hits.Load(), o.misses.Load()
+}
+
+// pushLocked appends idx to the FIFO ring, growing the storage when full.
+func (o *Oracle) pushLocked(idx int) {
+	if o.count == len(o.ring) {
+		grown := make([]int, max(4, 2*len(o.ring)))
+		for i := 0; i < o.count; i++ {
+			grown[i] = o.ring[(o.head+i)%len(o.ring)]
+		}
+		o.ring = grown[:cap(grown)]
+		o.head = 0
+	}
+	o.ring[(o.head+o.count)%len(o.ring)] = idx
+	o.count++
+}
+
+// evictLocked drops the oldest resident field whose fill has completed.
+// Entries still filling rotate to the tail instead of being evicted; if
+// every resident entry is mid-fill the cache transiently exceeds its
+// bound rather than duplicating an in-flight BFS.
+func (o *Oracle) evictLocked() {
+	for scanned := 0; scanned < o.count; scanned++ {
+		oldest := o.ring[o.head]
+		o.head = (o.head + 1) % len(o.ring)
+		o.count--
+		if e := o.fields[oldest]; e != nil && !e.done.Load() {
+			o.pushLocked(oldest)
+			continue
+		}
+		// Readers holding the evicted *BFS keep a valid pointer; only the
+		// cache forgets it.
+		delete(o.fields, oldest)
+		return
+	}
 }
 
 // entryLocked returns the cache entry for node index idx, creating and
@@ -81,20 +151,16 @@ func (o *Oracle) entryLocked(idx int) (e *oracleField, created bool) {
 		return e, false
 	}
 	if len(o.fields) >= o.bound {
-		// FIFO eviction: drop the oldest source. Readers holding the
-		// evicted *BFS keep a valid pointer; only the cache forgets it.
-		oldest := o.order[0]
-		o.order = o.order[1:]
-		delete(o.fields, oldest)
+		o.evictLocked()
 	}
 	e = &oracleField{}
 	o.fields[idx] = e
-	o.order = append(o.order, idx)
+	o.pushLocked(idx)
 	return e, true
 }
 
 // count bumps the hit or miss counter for one query.
-func (o *Oracle) count(created bool) {
+func (o *Oracle) countQuery(created bool) {
 	if created {
 		o.misses.Add(1)
 	} else {
@@ -104,9 +170,19 @@ func (o *Oracle) count(created bool) {
 
 // fill completes an entry's BFS from src at most once per cache
 // residency (outside the index lock: concurrent readers of one source
-// wait on the once, not on the oracle).
+// wait on the once, not on the oracle). Rebased entries arrive with the
+// BFS already resident, so the guard inside the once keeps a carried
+// field from being recomputed even on the first post-rebase access.
 func (o *Oracle) fill(e *oracleField, src mesh.Coord) *BFS {
-	e.once.Do(func() { e.bfs = NewBFS(o.f, src) })
+	if e.done.Load() {
+		return e.bfs
+	}
+	e.once.Do(func() {
+		if e.bfs == nil {
+			e.bfs = NewBFS(o.f, src)
+		}
+		e.done.Store(true)
+	})
 	return e.bfs
 }
 
@@ -117,7 +193,7 @@ func (o *Oracle) Field(src mesh.Coord) *BFS {
 	o.mu.Lock()
 	e, created := o.entryLocked(idx)
 	o.mu.Unlock()
-	o.count(created)
+	o.countQuery(created)
 	return o.fill(e, src)
 }
 
@@ -138,10 +214,117 @@ func (o *Oracle) Dist(s, d mesh.Coord) int32 {
 	}
 	e, created := o.entryLocked(m.Index(s))
 	o.mu.Unlock()
-	o.count(created)
+	o.countQuery(created)
 	return o.fill(e, s).Dist(d)
 }
 
 // Reachable reports whether d can be reached from s, served from the
 // cache.
 func (o *Oracle) Reachable(s, d mesh.Coord) bool { return o.Dist(s, d) < Infinite }
+
+// unchangedBy reports whether b's distance field is provably identical
+// over the fault set obtained by applying adds/repairs.
+//
+// The argument is purely component-based. A cell c with Dist(c) ==
+// Infinite lies outside the source's connected component; adding a fault
+// at an outside cell removes no vertex of the component, so every
+// distance inside is preserved and every outside cell stays Infinite.
+// Repairing a fault at c adds a healthy vertex; if all of c's in-mesh
+// neighbors are also outside the component, the new vertex attaches only
+// to outside territory and the component — hence the field — is again
+// untouched. Any delta cell violating these conditions may change the
+// field and the carry is refused.
+func unchangedBy(b *BFS, adds, repairs []mesh.Coord) bool {
+	rect, any := b.ReachedBounds()
+	if !any {
+		// Faulty-source field: everything is Infinite, and stays so as
+		// long as the source itself is untouched (the caller already
+		// refused deltas containing the source).
+		return true
+	}
+	// Frontier-bound fast path: a delta entirely outside the reached
+	// rectangle (grown by one for repairs, whose neighbors matter) cannot
+	// intersect the component.
+	grown := rect.Grow(1)
+	fast := true
+	for _, c := range adds {
+		if rect.Contains(c) {
+			fast = false
+			break
+		}
+	}
+	if fast {
+		for _, c := range repairs {
+			if grown.Contains(c) {
+				fast = false
+				break
+			}
+		}
+	}
+	if fast {
+		return true
+	}
+	for _, c := range adds {
+		if b.Dist(c) < Infinite {
+			return false
+		}
+	}
+	var nbuf [4]mesh.Coord
+	for _, c := range repairs {
+		if b.Dist(c) < Infinite {
+			return false
+		}
+		for _, n := range b.m.Neighbors(c, nbuf[:0]) {
+			if b.Dist(n) < Infinite {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Rebase builds the oracle for the successor fault set next (= o's set
+// with adds added and repairs removed), carrying forward every resident
+// distance field that provably cannot have changed:
+//
+//   - the source itself is untouched by the delta, and
+//   - every added fault is outside the field's reached component, and
+//   - every repaired cell is outside it with all its neighbors outside
+//     (checked first against the field's reached bounding rectangle,
+//     then exactly).
+//
+// Fields still mid-fill, and fields the delta may touch, are simply not
+// carried; they refill lazily on demand against next. The new oracle
+// shares o's bound and hit/miss counters, and carried reports how many
+// fields survived. o remains valid for readers of the old snapshot.
+func (o *Oracle) Rebase(next *fault.Set, adds, repairs []mesh.Coord) (reb *Oracle, carried int) {
+	reb = NewOracleShared(next, o.bound, o.hits, o.misses)
+	m := o.f.Mesh()
+	delta := make(map[int]bool, len(adds)+len(repairs))
+	for _, c := range adds {
+		delta[m.Index(c)] = true
+	}
+	for _, c := range repairs {
+		delta[m.Index(c)] = true
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	// Walk the ring oldest-first so the rebased oracle preserves o's
+	// eviction order among the survivors.
+	for i := 0; i < o.count; i++ {
+		idx := o.ring[(o.head+i)%len(o.ring)]
+		e := o.fields[idx]
+		if e == nil || !e.done.Load() || delta[idx] {
+			continue
+		}
+		if !unchangedBy(e.bfs, adds, repairs) {
+			continue
+		}
+		ne := &oracleField{bfs: e.bfs}
+		ne.done.Store(true)
+		reb.fields[idx] = ne
+		reb.pushLocked(idx)
+		carried++
+	}
+	return reb, carried
+}
