@@ -1,0 +1,69 @@
+// Command meshlint runs the repo's invariant analyzers (see
+// internal/lint and ARCHITECTURE.md "Enforced invariants") over the
+// whole module:
+//
+//	snapshotmut   no writes to published-snapshot state outside the
+//	              build packages
+//	hotpathalloc  no allocating constructs in //meshlint:hotpath
+//	              functions
+//	wirecode      the Err* sentinel / wire-code / HTTP-status taxonomy
+//	              stays exhaustive
+//	guardedby     //meshlint:guardedby fields accessed under their
+//	              lock; publish/journal calls stay confined
+//	ctxpoll       routing walk loops poll Options.Stop
+//	fieldalign    (advisory) struct field order wastes padding
+//
+// Usage:
+//
+//	meshlint [./...]
+//
+// meshlint always analyzes the module enclosing the working directory;
+// the optional ./... argument is accepted for familiarity. Exit status
+// is 1 when any blocking (non-advisory) finding is reported.
+//
+// The tool is self-contained on the standard library, so `go run
+// ./cmd/meshlint` needs no module downloads and the checked-in source
+// is the pinned version — local runs and CI cannot drift.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	for _, arg := range os.Args[1:] {
+		switch arg {
+		case "./...", ".":
+		default:
+			fmt.Fprintf(os.Stderr, "usage: meshlint [./...]  (analyzes the enclosing module; got %q)\n", arg)
+			os.Exit(2)
+		}
+	}
+	prog, err := lint.LoadModule(".")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "meshlint: %v\n", err)
+		os.Exit(2)
+	}
+	diags, err := prog.Run(lint.Analyzers()...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "meshlint: %v\n", err)
+		os.Exit(2)
+	}
+	blocking := 0
+	for _, d := range diags {
+		tag := ""
+		if d.Advisory {
+			tag = " (advisory)"
+		} else {
+			blocking++
+		}
+		fmt.Printf("%s: [%s]%s %s\n", prog.Fset.Position(d.Pos), d.Analyzer, tag, d.Message)
+	}
+	if blocking > 0 {
+		fmt.Fprintf(os.Stderr, "meshlint: %d blocking finding(s)\n", blocking)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,28 @@
+package lint
+
+// Analyzers returns the repo's analyzer suite wired to the real
+// package tree: the five blocking invariant checks plus the advisory
+// fieldalign pass. cmd/meshlint and the clean-on-HEAD meta-test both
+// run exactly this set.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		NewSnapshotMut(DefaultSnapshotMut),
+		NewHotPathAlloc(),
+		NewWireCode(DefaultWireCode),
+		NewGuardedBy(DefaultGuardedBy),
+		NewCtxPoll(DefaultCtxPoll),
+		NewFieldAlign(),
+	}
+}
+
+// BlockingAnalyzers returns only the analyzers whose findings fail the
+// build.
+func BlockingAnalyzers() []*Analyzer {
+	var out []*Analyzer
+	for _, a := range Analyzers() {
+		if !a.Advisory {
+			out = append(out, a)
+		}
+	}
+	return out
+}

@@ -1,0 +1,110 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// CtxPollConfig parameterizes the ctxpoll analyzer for fixtures.
+type CtxPollConfig struct {
+	// Pkg is the package whose loops are checked.
+	Pkg string
+	// WalkType is the named type (in Pkg) whose hop methods advance a
+	// walk cell by cell.
+	WalkType string
+	// HopMethods advance the walk; a loop driving them iterates cells.
+	HopMethods []string
+	// PollMethods check Options.Stop; every hop loop must reach one.
+	PollMethods []string
+}
+
+// DefaultCtxPoll guards the PR 2 cancellation-granularity contract: the
+// routing drivers advance a walk hop by hop, and every such loop must
+// poll Options.Stop via (*walk).done so a canceled context interrupts a
+// walk within stopPollHops hops instead of running to the hop budget.
+var DefaultCtxPoll = CtxPollConfig{
+	Pkg:         "repro/internal/routing",
+	WalkType:    "walk",
+	HopMethods:  []string{"arrive", "move", "detourMove", "stepOrDetour"},
+	PollMethods: []string{"done"},
+}
+
+// NewCtxPoll builds the ctxpoll analyzer: any for/range loop in the
+// configured package that advances a walk (calls a hop method on the
+// walk type) must poll cancellation (call a poll method on the walk
+// type) somewhere in its condition or body. Loops that merely set up or
+// inspect walks are not constrained.
+func NewCtxPoll(cfg CtxPollConfig) *Analyzer {
+	hops := make(map[string]bool, len(cfg.HopMethods))
+	for _, m := range cfg.HopMethods {
+		hops[m] = true
+	}
+	polls := make(map[string]bool, len(cfg.PollMethods))
+	for _, m := range cfg.PollMethods {
+		polls[m] = true
+	}
+	a := &Analyzer{
+		Name: "ctxpoll",
+		Doc:  "requires cell-iteration loops in the routing walks to poll Options.Stop",
+	}
+	a.Run = func(pass *Pass) error {
+		if pass.Pkg.Path != cfg.Pkg {
+			return nil
+		}
+		// calls reports whether the subtree contains a call of one of
+		// the named methods with a cfg.WalkType receiver.
+		calls := func(n ast.Node, methods map[string]bool) bool {
+			if n == nil {
+				return false
+			}
+			found := false
+			ast.Inspect(n, func(m ast.Node) bool {
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok || !methods[sel.Sel.Name] {
+					return true
+				}
+				recv := pass.Pkg.Info.Types[sel.X].Type
+				if recv == nil {
+					return true
+				}
+				if named := namedOf(recv); named != nil &&
+					named.Obj().Name() == cfg.WalkType && named.Obj().Pkg() == pass.Pkg.Types {
+					found = true
+					return false
+				}
+				return true
+			})
+			return found
+		}
+		for _, file := range pass.Pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				var cond, body ast.Node
+				switch loop := n.(type) {
+				case *ast.ForStmt:
+					if loop.Cond != nil {
+						cond = loop.Cond
+					}
+					body = loop.Body
+				case *ast.RangeStmt:
+					body = loop.Body
+				default:
+					return true
+				}
+				if !calls(body, hops) {
+					return true
+				}
+				if calls(cond, polls) || calls(body, polls) {
+					return true
+				}
+				pass.Reportf(n.Pos(), "loop advances a %s (hop methods: %v) without polling cancellation; call %s.%s in the loop condition or body so Options.Stop interrupts the walk",
+					cfg.WalkType, cfg.HopMethods, cfg.WalkType, cfg.PollMethods[0])
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}

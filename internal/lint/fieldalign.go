@@ -1,0 +1,70 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// NewFieldAlign builds the advisory fieldalign analyzer: it reports
+// struct types whose fields, reordered by decreasing alignment then
+// size, would occupy fewer bytes. Advisory only — field order in this
+// repo often encodes documentation grouping, and the hot structs
+// (Scratch, walk) are already laid out deliberately — so findings print
+// but never fail the build (the stdlib stand-in for x/tools'
+// fieldalignment vet pass, which the module cannot depend on).
+func NewFieldAlign() *Analyzer {
+	sizes := types.SizesFor("gc", "amd64")
+	a := &Analyzer{
+		Name:     "fieldalign",
+		Doc:      "advisory: reports structs whose field order wastes padding bytes",
+		Advisory: true,
+	}
+	a.Run = func(pass *Pass) error {
+		for _, file := range pass.Pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				ts, ok := n.(*ast.TypeSpec)
+				if !ok {
+					return true
+				}
+				if _, ok := ts.Type.(*ast.StructType); !ok {
+					return true
+				}
+				obj, ok := pass.Pkg.Info.Defs[ts.Name].(*types.TypeName)
+				if !ok {
+					return true
+				}
+				st, ok := obj.Type().Underlying().(*types.Struct)
+				if !ok || st.NumFields() < 2 {
+					return true
+				}
+				cur := sizes.Sizeof(st)
+				best := optimalStructSize(st, sizes)
+				if best < cur {
+					pass.Reportf(ts.Pos(), "struct %s is %d bytes; reordering fields could shrink it to %d", ts.Name.Name, cur, best)
+				}
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}
+
+// optimalStructSize computes the size of the struct with fields sorted
+// by decreasing alignment, then decreasing size — the standard greedy
+// layout that eliminates avoidable padding.
+func optimalStructSize(st *types.Struct, sizes types.Sizes) int64 {
+	fields := make([]*types.Var, st.NumFields())
+	for i := range fields {
+		fields[i] = st.Field(i)
+	}
+	sort.SliceStable(fields, func(i, j int) bool {
+		ai, aj := sizes.Alignof(fields[i].Type()), sizes.Alignof(fields[j].Type())
+		if ai != aj {
+			return ai > aj
+		}
+		return sizes.Sizeof(fields[i].Type()) > sizes.Sizeof(fields[j].Type())
+	})
+	return sizes.Sizeof(types.NewStruct(fields, nil))
+}

@@ -1,0 +1,325 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// GuardedByConfig parameterizes the guardedby analyzer. Field guards are
+// self-annotating (`//meshlint:guardedby mu` on the field), so the only
+// configuration is the confined-call list.
+type GuardedByConfig struct {
+	ConfinedCalls []ConfinedCall
+}
+
+// ConfinedCall pins a call to a named set of callers: the publish /
+// journal-append ordering contract says certain effects may only happen
+// from inside specific functions (e.g. OnPublish fires only inside the
+// writer critical section of publishLocked).
+type ConfinedCall struct {
+	// Pkg is the package whose calls are checked.
+	Pkg string
+	// RecvType is the qualified named type ("path.Name") of the call's
+	// receiver or field owner.
+	RecvType string
+	// Method is the selector name being called.
+	Method string
+	// Callers are the top-level functions allowed to make the call.
+	Callers []string
+	// Why completes the diagnostic ("...: <Why>").
+	Why string
+}
+
+// DefaultGuardedBy encodes the repo's publish-ordering contracts:
+// the engine's OnPublish hook fires only inside publishLocked (the
+// writer critical section, so subscribers see strictly ordered
+// versions), the server appends journal records only through the
+// publishToJournal hook (journal-before-fanout ordering), and the
+// facade's watch fanout runs only from the newNetwork publish chain.
+var DefaultGuardedBy = GuardedByConfig{
+	ConfinedCalls: []ConfinedCall{
+		{
+			Pkg: "repro/internal/engine", RecvType: "repro/internal/engine.Options",
+			Method: "OnPublish", Callers: []string{"publishLocked"},
+			Why: "the publish hook must fire inside the writer critical section so subscribers observe strictly ordered versions",
+		},
+		{
+			Pkg: "repro/internal/server", RecvType: "repro/internal/journal.Journal",
+			Method: "Append", Callers: []string{"publishToJournal"},
+			Why: "journal appends must ride the publish hook so records land before watch fanout, in version order",
+		},
+		{
+			Pkg: "repro", RecvType: "repro.Network",
+			Method: "fanout", Callers: []string{"newNetwork"},
+			Why: "watch fanout must stay on the publish chain built in newNetwork (after the journal hook) so watchers never observe a version the journal missed",
+		},
+	},
+}
+
+// NewGuardedBy builds the guardedby analyzer. A field annotated
+// `//meshlint:guardedby mu` may only be accessed from functions that
+// visibly hold mu:
+//
+//   - the function (or a closure chain within it) locks mu directly
+//     (mu.Lock or mu.RLock),
+//   - or it calls a locker-wrapper method of the same type whose body
+//     locks mu (the Watch.lock idiom),
+//   - or its name ends in "Locked" (the *Locked naming convention:
+//     callers hold the lock),
+//   - or it carries `//meshlint:locked mu` (documented as: runs with mu
+//     held, or the object is not yet shared — constructors).
+//
+// The check is a presence heuristic, deliberately: it cannot prove the
+// lock is held at the access, but it catches the real bug class — a
+// function touching guarded state with no locking discipline at all.
+func NewGuardedBy(cfg GuardedByConfig) *Analyzer {
+	a := &Analyzer{
+		Name: "guardedby",
+		Doc:  "checks //meshlint:guardedby fields are accessed under their lock and confined calls stay confined",
+	}
+	a.Run = func(pass *Pass) error {
+		guards := collectGuards(pass)
+		if len(guards) > 0 {
+			checkGuardedAccesses(pass, guards)
+		}
+		checkConfinedCalls(pass, cfg.ConfinedCalls)
+		return nil
+	}
+	return a
+}
+
+// guardInfo records one annotated field's guarding mutex and the
+// struct that owns both (for diagnostics).
+type guardInfo struct {
+	mu    *types.Var
+	owner string
+}
+
+// collectGuards maps each annotated field object to the mutex field
+// object guarding it.
+func collectGuards(pass *Pass) map[*types.Var]guardInfo {
+	guards := make(map[*types.Var]guardInfo)
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			// Field name → object, for resolving the mutex by name.
+			byName := make(map[string]*types.Var)
+			for _, f := range st.Fields.List {
+				for _, name := range f.Names {
+					if v, ok := pass.Pkg.Info.Defs[name].(*types.Var); ok {
+						byName[name.Name] = v
+					}
+				}
+			}
+			for _, f := range st.Fields.List {
+				cg := f.Doc
+				if cg == nil {
+					cg = f.Comment
+				}
+				muName, ok := directive(cg, "guardedby")
+				if !ok {
+					continue
+				}
+				if muName == "" {
+					pass.Reportf(f.Pos(), "meshlint:guardedby needs the guarding field's name")
+					continue
+				}
+				mu, ok := byName[muName]
+				if !ok {
+					pass.Reportf(f.Pos(), "meshlint:guardedby names %q, which is not a field of %s", muName, ts.Name.Name)
+					continue
+				}
+				for _, name := range f.Names {
+					if v, ok := byName[name.Name]; ok && v != mu {
+						guards[v] = guardInfo{mu: mu, owner: ts.Name.Name}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+// directAcquisitions returns the mutex field objects that body locks
+// directly via <expr>.<mu>.Lock() or .RLock().
+func directAcquisitions(pass *Pass, body ast.Node) map[*types.Var]bool {
+	acquired := make(map[*types.Var]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		if mu := fieldObjOf(pass, sel.X); mu != nil {
+			acquired[mu] = true
+		}
+		return true
+	})
+	return acquired
+}
+
+// fieldObjOf resolves an expression to the struct-field object it
+// selects, or nil.
+func fieldObjOf(pass *Pass, e ast.Expr) *types.Var {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	if s, ok := pass.Pkg.Info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		if v, ok := s.Obj().(*types.Var); ok {
+			return v
+		}
+	}
+	return nil
+}
+
+// lockerMethods maps each method object that directly locks a mutex
+// field to the set of mutexes it locks — calling such a method counts
+// as acquiring them (the Watch.lock wrapper idiom).
+func lockerMethods(pass *Pass) map[*types.Func]map[*types.Var]bool {
+	out := make(map[*types.Func]map[*types.Var]bool)
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Recv == nil || fn.Body == nil {
+				continue
+			}
+			obj, ok := pass.Pkg.Info.Defs[fn.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			if acq := directAcquisitions(pass, fn.Body); len(acq) > 0 {
+				out[obj] = acq
+			}
+		}
+	}
+	return out
+}
+
+func checkGuardedAccesses(pass *Pass, guards map[*types.Var]guardInfo) {
+	lockers := lockerMethods(pass)
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if strings.HasSuffix(fn.Name.Name, "Locked") {
+				continue
+			}
+			lockedArg, lockedOK := funcDirective(fn, "locked")
+
+			acquired := directAcquisitions(pass, fn.Body)
+			// Calling a locker-wrapper method counts as acquiring what
+			// it locks.
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+					if m, ok := pass.Pkg.Info.Uses[sel.Sel].(*types.Func); ok {
+						for mu := range lockers[m] {
+							acquired[mu] = true
+						}
+					}
+				}
+				return true
+			})
+
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				s, ok := pass.Pkg.Info.Selections[sel]
+				if !ok || s.Kind() != types.FieldVal {
+					return true
+				}
+				v, ok := s.Obj().(*types.Var)
+				if !ok {
+					return true
+				}
+				g, guarded := guards[v]
+				if !guarded || acquired[g.mu] {
+					return true
+				}
+				if lockedOK && (lockedArg == "" || lockedArg == g.mu.Name()) {
+					return true
+				}
+				pass.Reportf(sel.Pos(), "%s.%s is guarded by %s but %s does not visibly hold it (lock %s, call through a locking wrapper, use a *Locked name, or annotate //meshlint:locked %s)",
+					g.owner, v.Name(), g.mu.Name(), fn.Name.Name, g.mu.Name(), g.mu.Name())
+				return true
+			})
+		}
+	}
+}
+
+// checkConfinedCalls enforces the caller allow-lists of the
+// publish-ordering contract.
+func checkConfinedCalls(pass *Pass, calls []ConfinedCall) {
+	var mine []ConfinedCall
+	for _, c := range calls {
+		if c.Pkg == pass.Pkg.Path {
+			mine = append(mine, c)
+		}
+	}
+	if len(mine) == 0 {
+		return
+	}
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				recv := pass.Pkg.Info.Types[sel.X].Type
+				if recv == nil {
+					return true
+				}
+				named := namedOf(recv)
+				if named == nil {
+					return true
+				}
+				for _, c := range mine {
+					if sel.Sel.Name != c.Method || qualifiedName(named) != c.RecvType {
+						continue
+					}
+					allowed := false
+					for _, caller := range c.Callers {
+						if fn.Name.Name == caller {
+							allowed = true
+							break
+						}
+					}
+					if !allowed {
+						pass.Reportf(call.Pos(), "%s.%s may only be called from %s (found in %s): %s",
+							c.RecvType, c.Method, strings.Join(c.Callers, ", "), fn.Name.Name, c.Why)
+					}
+				}
+				return true
+			})
+		}
+	}
+}

@@ -1,0 +1,195 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NewHotPathAlloc builds the hotpathalloc analyzer: inside any function
+// whose doc comment carries `//meshlint:hotpath`, it flags every
+// construct that can allocate — make, new, slice/map composite
+// literals, &T{} literals, appends without capacity evidence, and
+// closures that escape. It is the static complement to the
+// testing.AllocsPerRun guards: those only see branches the benchmark
+// drives, this sees every branch.
+//
+// Escape hatches, both deliberate and visible in review:
+//   - `append(buf[:0], ...)` reuses a scratch backing array and is
+//     allowed as-is (the zero-alloc idiom the scratch space is built on);
+//   - a `//meshlint:allow <reason>` comment on the same line suppresses
+//     the finding, and the mandatory reason documents why the allocation
+//     is amortized or cold. A reasonless allow is itself a finding.
+//   - a closure is allowed when it cannot escape: an immediately-called
+//     function literal, or one bound to a local name that is only ever
+//     called.
+func NewHotPathAlloc() *Analyzer {
+	a := &Analyzer{
+		Name: "hotpathalloc",
+		Doc:  "forbids allocating constructs in //meshlint:hotpath functions",
+	}
+	a.Run = func(pass *Pass) error {
+		for _, file := range pass.Pkg.Files {
+			allowed, bare := allowedLines(pass.Fset, file)
+			for _, pos := range bare {
+				pass.Reportf(pos, "meshlint:allow needs a reason documenting why the allocation is amortized or cold")
+			}
+			for _, decl := range file.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				if _, hot := funcDirective(fn, "hotpath"); !hot {
+					continue
+				}
+				checkHotFunc(pass, fn, allowed)
+			}
+		}
+		return nil
+	}
+	return a
+}
+
+func checkHotFunc(pass *Pass, fn *ast.FuncDecl, allowed map[int]bool) {
+	info := pass.Pkg.Info
+	line := func(n ast.Node) int { return pass.Fset.Position(n.Pos()).Line }
+	confined := confinedFuncLits(fn.Body, info)
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if allowed[line(n)] {
+			// The allow suppresses this node and its children: the
+			// whole flagged expression sits on the annotated line.
+			if _, isExpr := n.(ast.Expr); isExpr {
+				return false
+			}
+		}
+		switch e := n.(type) {
+		case *ast.CallExpr:
+			switch fun := ast.Unparen(e.Fun).(type) {
+			case *ast.Ident:
+				if b, ok := info.Uses[fun].(*types.Builtin); ok {
+					switch b.Name() {
+					case "make":
+						pass.Reportf(e.Pos(), "make in hot-path function %s allocates; reuse scratch state or annotate the line with //meshlint:allow <reason>", fn.Name.Name)
+					case "new":
+						pass.Reportf(e.Pos(), "new in hot-path function %s allocates; hoist into setup or annotate with //meshlint:allow <reason>", fn.Name.Name)
+					case "append":
+						if !appendReusesBacking(e) && !allowed[line(e)] {
+							pass.Reportf(e.Pos(), "append without capacity evidence in hot-path function %s; reslice scratch with buf[:0] or annotate with //meshlint:allow <reason>", fn.Name.Name)
+						}
+					}
+				}
+			}
+		case *ast.CompositeLit:
+			t := info.Types[e].Type
+			if t == nil {
+				break
+			}
+			switch t.Underlying().(type) {
+			case *types.Slice:
+				pass.Reportf(e.Pos(), "slice literal in hot-path function %s allocates; hoist into setup or annotate with //meshlint:allow <reason>", fn.Name.Name)
+				return false
+			case *types.Map:
+				pass.Reportf(e.Pos(), "map literal in hot-path function %s allocates; hoist into setup or annotate with //meshlint:allow <reason>", fn.Name.Name)
+				return false
+			}
+		case *ast.UnaryExpr:
+			if e.Op == token.AND {
+				if _, isLit := ast.Unparen(e.X).(*ast.CompositeLit); isLit {
+					pass.Reportf(e.Pos(), "&composite literal in hot-path function %s escapes to the heap; reuse a scratch object or annotate with //meshlint:allow <reason>", fn.Name.Name)
+					return false
+				}
+			}
+		case *ast.FuncLit:
+			if !confined[e] {
+				pass.Reportf(e.Pos(), "closure in hot-path function %s may escape (captured variables allocate); restructure or annotate with //meshlint:allow <reason>", fn.Name.Name)
+			}
+			// Keep descending: the closure body runs on the hot path too.
+		}
+		return true
+	})
+}
+
+// appendReusesBacking reports whether an append call's destination is a
+// `x[:0]`-style reslice — the scratch-reuse idiom that cannot grow a
+// fresh backing array in steady state.
+func appendReusesBacking(call *ast.CallExpr) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	sl, ok := ast.Unparen(call.Args[0]).(*ast.SliceExpr)
+	if !ok {
+		return false
+	}
+	lit, ok := sl.High.(*ast.BasicLit)
+	return ok && lit.Value == "0" && sl.Low == nil
+}
+
+// confinedFuncLits reports which function literals in body provably do
+// not escape the enclosing function: immediately-called literals and
+// literals bound by := or = to a name whose every use is a call.
+func confinedFuncLits(body *ast.BlockStmt, info *types.Info) map[*ast.FuncLit]bool {
+	confined := make(map[*ast.FuncLit]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.CallExpr:
+			if lit, ok := ast.Unparen(e.Fun).(*ast.FuncLit); ok {
+				confined[lit] = true
+			}
+		case *ast.AssignStmt:
+			if len(e.Lhs) != len(e.Rhs) {
+				break
+			}
+			for i, rhs := range e.Rhs {
+				lit, ok := ast.Unparen(rhs).(*ast.FuncLit)
+				if !ok {
+					continue
+				}
+				id, ok := e.Lhs[i].(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := info.Defs[id]
+				if obj == nil {
+					obj = info.Uses[id]
+				}
+				if obj != nil && localCallOnly(body, info, obj, id) {
+					confined[lit] = true
+				}
+			}
+		}
+		return true
+	})
+	return confined
+}
+
+// localCallOnly reports whether every use of obj inside body (other
+// than the binding identifier itself) is the callee of a call — the
+// closure bound to it can then never escape.
+func localCallOnly(body *ast.BlockStmt, info *types.Info, obj types.Object, binding *ast.Ident) bool {
+	ok := true
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		if id, isID := n.(*ast.Ident); isID && id != binding && info.Uses[id] == obj {
+			inCall := false
+			if len(stack) > 0 {
+				if call, isCall := stack[len(stack)-1].(*ast.CallExpr); isCall && ast.Unparen(call.Fun) == ast.Expr(id) {
+					inCall = true
+				}
+			}
+			if !inCall {
+				ok = false
+			}
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return ok
+}

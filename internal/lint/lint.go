@@ -1,0 +1,192 @@
+// Package lint is a self-contained static-analysis framework plus the
+// repo-specific analyzers that enforce the engine's invariant contracts
+// (see ARCHITECTURE.md "Enforced invariants"). It deliberately depends
+// only on the standard library — the module carries no external
+// dependencies, so golang.org/x/tools/go/analysis is reimplemented here
+// in miniature: packages are loaded and type-checked with go/types (the
+// standard library itself is type-checked from source via the compiler's
+// source importer), analyzers run per package or across the whole
+// program, and fixtures under testdata/src are exercised by the
+// linttest runner with analysistest-style `// want "regexp"` comments.
+//
+// Contracts are declared in the code they protect with meshlint
+// annotations:
+//
+//	//meshlint:hotpath            function may not allocate (hotpathalloc)
+//	//meshlint:guardedby mu       field is only accessed under mu (guardedby)
+//	//meshlint:locked mu          function runs with mu held, or on an
+//	                              object not yet shared (guardedby)
+//	//meshlint:allow <reason>     suppress hotpathalloc on this line; the
+//	                              reason documents why the allocation is
+//	                              amortized or cold
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one analyzer finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+	// Advisory findings are reported but never fail the build
+	// (fieldalign). Copied from the reporting analyzer.
+	Advisory bool
+}
+
+// Analyzer is one named check. Exactly one of Run (per package) and
+// RunProgram (whole program, for cross-package contracts like wirecode)
+// is set.
+type Analyzer struct {
+	Name     string
+	Doc      string
+	Advisory bool
+	Run      func(*Pass) error
+	// RunProgram sees every loaded package at once.
+	RunProgram func(*Program, func(Diagnostic)) error
+}
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	Path  string
+	Dir   string
+	Files []*ast.File
+	// TestFiles are the package's *_test.go files (in-package and
+	// external), parsed with comments but NOT type-checked: analyzers use
+	// them only for syntactic evidence (wirecode's golden-test check).
+	TestFiles []*ast.File
+	Types     *types.Package
+	Info      *types.Info
+}
+
+// Program is a loaded set of packages sharing one FileSet.
+type Program struct {
+	Fset   *token.FileSet
+	Pkgs   []*Package
+	byPath map[string]*Package
+}
+
+// Package returns the loaded package with the given import path, or nil.
+func (p *Program) Package(path string) *Package { return p.byPath[path] }
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Pkg      *Package
+	Prog     *Program
+	report   func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+		Advisory: p.Analyzer.Advisory,
+	})
+}
+
+// Run applies the analyzers to every package of the program and returns
+// the findings sorted by position.
+func (p *Program) Run(analyzers ...*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	report := func(d Diagnostic) { diags = append(diags, d) }
+	for _, a := range analyzers {
+		if a.RunProgram != nil {
+			aa := a
+			if err := a.RunProgram(p, func(d Diagnostic) {
+				d.Analyzer = aa.Name
+				d.Advisory = aa.Advisory
+				report(d)
+			}); err != nil {
+				return nil, fmt.Errorf("%s: %w", a.Name, err)
+			}
+			continue
+		}
+		for _, pkg := range p.Pkgs {
+			pass := &Pass{Analyzer: a, Fset: p.Fset, Pkg: pkg, Prog: p, report: report}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		if diags[i].Pos != diags[j].Pos {
+			return diags[i].Pos < diags[j].Pos
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}
+
+// ---- annotation helpers ----
+
+// directive scans a comment group for a "//meshlint:<key>" line and
+// returns the text after the key (may be empty) and whether it was found.
+func directive(doc *ast.CommentGroup, key string) (string, bool) {
+	if doc == nil {
+		return "", false
+	}
+	prefix := "//meshlint:" + key
+	for _, c := range doc.List {
+		if c.Text == prefix {
+			return "", true
+		}
+		if rest, ok := strings.CutPrefix(c.Text, prefix+" "); ok {
+			return strings.TrimSpace(rest), true
+		}
+	}
+	return "", false
+}
+
+// funcDirective reports a "//meshlint:<key>" directive in the doc
+// comment of a function declaration.
+func funcDirective(fn *ast.FuncDecl, key string) (string, bool) {
+	return directive(fn.Doc, key)
+}
+
+// allowedLines collects the lines of file carrying a "//meshlint:allow"
+// comment (with a mandatory reason). Reasonless allows are themselves
+// diagnosed by the caller via the second return value.
+func allowedLines(fset *token.FileSet, file *ast.File) (allowed map[int]bool, bare []token.Pos) {
+	allowed = make(map[int]bool)
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if rest, ok := strings.CutPrefix(c.Text, "//meshlint:allow"); ok {
+				if strings.TrimSpace(rest) == "" {
+					bare = append(bare, c.Pos())
+					continue
+				}
+				allowed[fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+	return allowed, bare
+}
+
+// recvNamed resolves the defined (named) type of a method receiver
+// expression type, unwrapping one level of pointer.
+func namedOf(t types.Type) *types.Named {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// qualifiedName renders a named type as "import/path.Name".
+func qualifiedName(n *types.Named) string {
+	obj := n.Obj()
+	if obj.Pkg() == nil {
+		return obj.Name()
+	}
+	return obj.Pkg().Path() + "." + obj.Name()
+}

@@ -1,0 +1,61 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+// Each analyzer is proven against a fixture tree under testdata/src
+// holding deliberate violations (matched by want clauses) next to the
+// clean idioms that must stay silent.
+
+func TestSnapshotMut(t *testing.T) {
+	linttest.Run(t, "testdata/src",
+		[]string{"snapmut/geom", "snapmut/engine"},
+		lint.NewSnapshotMut(lint.SnapshotMutConfig{
+			ProtectedTypes: []string{"snapmut/geom.Analysis"},
+			AllowedPkgs:    []string{"snapmut/geom"},
+		}))
+}
+
+func TestHotPathAlloc(t *testing.T) {
+	linttest.Run(t, "testdata/src",
+		[]string{"hotpath"},
+		lint.NewHotPathAlloc())
+}
+
+func TestWireCode(t *testing.T) {
+	linttest.Run(t, "testdata/src",
+		[]string{"wire/api", "wire/server"},
+		lint.NewWireCode(lint.WireCodeConfig{
+			RootPkg:       "wire/api",
+			ServerPkg:     "wire/server",
+			ErrorCodeFunc: "ErrorCode",
+			StatusFunc:    "statusForCode",
+		}))
+}
+
+func TestGuardedBy(t *testing.T) {
+	linttest.Run(t, "testdata/src",
+		[]string{"guarded"},
+		lint.NewGuardedBy(lint.GuardedByConfig{
+			ConfinedCalls: []lint.ConfinedCall{{
+				Pkg: "guarded", RecvType: "guarded.Hook",
+				Method: "Fire", Callers: []string{"publish"},
+				Why: "the fixture confines Fire to the publish chain",
+			}},
+		}))
+}
+
+func TestCtxPoll(t *testing.T) {
+	linttest.Run(t, "testdata/src",
+		[]string{"poll"},
+		lint.NewCtxPoll(lint.CtxPollConfig{
+			Pkg:         "poll",
+			WalkType:    "walk",
+			HopMethods:  []string{"move"},
+			PollMethods: []string{"done"},
+		}))
+}

@@ -1,0 +1,91 @@
+// Package linttest runs lint analyzers against fixture packages under a
+// testdata/src tree and checks their findings against analysistest-style
+// expectations: a comment containing `want "regexp"` on the line a
+// diagnostic is reported at. Every diagnostic must match a want on its
+// line, and every want must be matched by at least one diagnostic, so
+// fixtures prove both the positive cases (violations are caught) and the
+// negative ones (clean idioms stay silent).
+package linttest
+
+import (
+	"go/ast"
+	"regexp"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// wantRE extracts `want "pattern"` clauses; a comment may carry several.
+var wantRE = regexp.MustCompile(`want "((?:[^"\\]|\\.)*)"`)
+
+// expectation is one want clause anchored to a file line.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run loads the fixture packages at paths (import paths relative to
+// root, a GOPATH-style source tree), applies the analyzers, and reports
+// every mismatch between findings and want clauses on t.
+func Run(t *testing.T, root string, paths []string, analyzers ...*lint.Analyzer) {
+	t.Helper()
+	prog, err := lint.LoadTree(root, paths)
+	if err != nil {
+		t.Fatalf("load fixtures %v under %s: %v", paths, root, err)
+	}
+	diags, err := prog.Run(analyzers...)
+	if err != nil {
+		t.Fatalf("run analyzers: %v", err)
+	}
+
+	var wants []*expectation
+	collect := func(files []*ast.File) {
+		for _, f := range files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					for _, m := range wantRE.FindAllStringSubmatch(c.Text, -1) {
+						re, err := regexp.Compile(m[1])
+						if err != nil {
+							pos := prog.Fset.Position(c.Pos())
+							t.Fatalf("%s: bad want pattern %q: %v", pos, m[1], err)
+						}
+						pos := prog.Fset.Position(c.Pos())
+						wants = append(wants, &expectation{
+							file: pos.Filename, line: pos.Line, re: re, raw: m[1],
+						})
+					}
+				}
+			}
+		}
+	}
+	for _, p := range paths {
+		pkg := prog.Package(p)
+		if pkg == nil {
+			t.Fatalf("fixture package %q did not load", p)
+		}
+		collect(pkg.Files)
+		collect(pkg.TestFiles)
+	}
+
+	for _, d := range diags {
+		pos := prog.Fset.Position(d.Pos)
+		found := false
+		for _, w := range wants {
+			if w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic at %s: [%s] %s", pos, d.Analyzer, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.raw)
+		}
+	}
+}

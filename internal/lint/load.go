@@ -1,0 +1,251 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// The loader type-checks the module with pure go/* machinery: module
+// packages resolve by path mapping onto directories, standard-library
+// imports go through the compiler's source importer (precompiled export
+// data does not exist under Go >= 1.20, so the stdlib is type-checked
+// from GOROOT/src). One shared FileSet keeps positions coherent.
+type loader struct {
+	fset    *token.FileSet
+	resolve func(path string) (string, bool)
+	std     types.ImporterFrom
+	pkgs    map[string]*Package
+	loading map[string]bool
+}
+
+func newLoader(resolve func(path string) (string, bool)) *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		fset:    fset,
+		resolve: resolve,
+		std:     importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		pkgs:    make(map[string]*Package),
+		loading: make(map[string]bool),
+	}
+}
+
+// Import implements types.Importer.
+func (l *loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, "", 0)
+}
+
+// ImportFrom implements types.ImporterFrom.
+func (l *loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if d, ok := l.resolve(path); ok {
+		p, err := l.load(path, d)
+		if err != nil {
+			return nil, err
+		}
+		if p == nil {
+			return nil, fmt.Errorf("no Go files in %s", d)
+		}
+		return p.Types, nil
+	}
+	return l.std.ImportFrom(path, dir, mode)
+}
+
+// load parses and type-checks one module package (memoized).
+func (l *loader) load(path, dir string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	bp, err := build.ImportDir(dir, 0)
+	if err != nil {
+		if _, ok := err.(*build.NoGoError); ok {
+			l.pkgs[path] = nil
+			return nil, nil
+		}
+		return nil, fmt.Errorf("%s: %w", dir, err)
+	}
+
+	parse := func(names []string) ([]*ast.File, error) {
+		files := make([]*ast.File, 0, len(names))
+		for _, name := range names {
+			f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		return files, nil
+	}
+	files, err := parse(bp.GoFiles)
+	if err != nil {
+		return nil, err
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, _ := conf.Check(path, l.fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("type-check %s: %w", path, typeErrs[0])
+	}
+
+	testNames := append(append([]string{}, bp.TestGoFiles...), bp.XTestGoFiles...)
+	sort.Strings(testNames)
+	testFiles, err := parse(testNames)
+	if err != nil {
+		return nil, err
+	}
+
+	p := &Package{
+		Path:      path,
+		Dir:       dir,
+		Files:     files,
+		TestFiles: testFiles,
+		Types:     tpkg,
+		Info:      info,
+	}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+// program assembles the loaded module packages into a Program.
+func (l *loader) program() *Program {
+	prog := &Program{Fset: l.fset, byPath: make(map[string]*Package)}
+	for path, p := range l.pkgs {
+		if p == nil {
+			continue
+		}
+		prog.Pkgs = append(prog.Pkgs, p)
+		prog.byPath[path] = p
+	}
+	sort.Slice(prog.Pkgs, func(i, j int) bool { return prog.Pkgs[i].Path < prog.Pkgs[j].Path })
+	return prog
+}
+
+// LoadModule loads and type-checks every package of the Go module that
+// contains dir (found by walking up to go.mod). testdata, hidden, and
+// underscore-prefixed directories are skipped, matching the go tool.
+func LoadModule(dir string) (*Program, error) {
+	root, modPath, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	resolve := func(path string) (string, bool) {
+		if path == modPath {
+			return root, true
+		}
+		if rest, ok := strings.CutPrefix(path, modPath+"/"); ok {
+			return filepath.Join(root, filepath.FromSlash(rest)), true
+		}
+		return "", false
+	}
+	l := newLoader(resolve)
+
+	var pkgPaths []string
+	err = filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if p != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		rel, err := filepath.Rel(root, p)
+		if err != nil {
+			return err
+		}
+		ip := modPath
+		if rel != "." {
+			ip = modPath + "/" + filepath.ToSlash(rel)
+		}
+		pkgPaths = append(pkgPaths, ip)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(pkgPaths)
+	for _, ip := range pkgPaths {
+		d, _ := resolve(ip)
+		if _, err := l.load(ip, d); err != nil {
+			return nil, err
+		}
+	}
+	return l.program(), nil
+}
+
+// LoadTree loads the named packages (and, transitively, their intra-tree
+// imports) from a GOPATH-style source root where the import path of a
+// package is its directory relative to root. Used by linttest to load
+// analyzer fixtures from testdata/src.
+func LoadTree(root string, paths []string) (*Program, error) {
+	resolve := func(path string) (string, bool) {
+		d := filepath.Join(root, filepath.FromSlash(path))
+		if st, err := os.Stat(d); err == nil && st.IsDir() {
+			return d, true
+		}
+		return "", false
+	}
+	l := newLoader(resolve)
+	for _, ip := range paths {
+		d, ok := resolve(ip)
+		if !ok {
+			return nil, fmt.Errorf("no fixture package %q under %s", ip, root)
+		}
+		if _, err := l.load(ip, d); err != nil {
+			return nil, err
+		}
+	}
+	return l.program(), nil
+}
+
+// findModule walks up from dir to the enclosing go.mod and returns the
+// module root and module path.
+func findModule(dir string) (root, modPath string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("%s/go.mod: no module directive", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("no go.mod found above %s", abs)
+		}
+		d = parent
+	}
+}

@@ -1,0 +1,72 @@
+// Package guarded exercises the guardedby analyzer: annotated fields
+// must be touched only by functions that visibly hold the named lock
+// (direct Lock/RLock, a locker-wrapper method, a *Locked name, or a
+// //meshlint:locked directive), and confined calls must stay with their
+// allowed callers.
+package guarded
+
+import "sync"
+
+// Counter is shared state with one guarded field and two broken
+// annotations.
+type Counter struct {
+	mu sync.Mutex
+	//meshlint:guardedby mu
+	n int
+	//meshlint:guardedby missing
+	bad int // want "meshlint:guardedby names .missing., which is not a field of Counter"
+	//meshlint:guardedby
+	worse int // want "meshlint:guardedby needs the guarding field's name"
+}
+
+// Bump locks directly: clean.
+func (c *Counter) Bump() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// lock is a locker wrapper; calling it counts as acquiring mu.
+func (c *Counter) lock() { c.mu.Lock() }
+
+// ViaWrapper acquires through the wrapper: clean.
+func (c *Counter) ViaWrapper() int {
+	c.lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// bumpLocked relies on the *Locked convention: callers hold mu.
+func (c *Counter) bumpLocked() { c.n++ }
+
+// NewCounter touches n before the object is shared.
+//
+//meshlint:locked mu
+func NewCounter() *Counter {
+	c := &Counter{}
+	c.n = 1
+	c.bumpLocked()
+	return c
+}
+
+// Racy has no locking discipline at all.
+func (c *Counter) Racy() int {
+	return c.n // want "Counter.n is guarded by mu but Racy does not visibly hold it"
+}
+
+// Hook is the confined-call fixture: the test config allows Fire only
+// from publish.
+type Hook struct{}
+
+// Fire is the confined effect.
+func (Hook) Fire() {}
+
+// publish is the allowed caller: clean.
+func publish(h Hook) { h.Fire() }
+
+// rogue calls the confined effect from outside the allow-list.
+func rogue(h Hook) {
+	h.Fire() // want "guarded.Hook.Fire may only be called from publish"
+}
+
+var _, _ = publish, rogue

@@ -1,0 +1,66 @@
+// Package hotpath exercises the hotpathalloc analyzer: annotated
+// functions may not allocate, unannotated ones are unconstrained, and
+// the scratch-reuse and confined-closure idioms stay silent.
+package hotpath
+
+// Buf is reusable scratch state.
+type Buf struct {
+	vals []int
+}
+
+// grow is not annotated: allocating here is fine.
+func (b *Buf) grow(n int) {
+	b.vals = make([]int, n)
+}
+
+// fill reuses the scratch backing array — the allowed zero-alloc idiom.
+//
+//meshlint:hotpath
+func fill(b *Buf) {
+	b.vals = append(b.vals[:0], 1)
+}
+
+// leaky hits every allocating construct.
+//
+//meshlint:hotpath
+func leaky(n int) []int {
+	out := make([]int, 0, n) // want "make in hot-path function leaky allocates"
+	m := map[int]bool{}      // want "map literal in hot-path function leaky allocates"
+	s := []int{1, 2}         // want "slice literal in hot-path function leaky allocates"
+	p := new(int)            // want "new in hot-path function leaky allocates"
+	_, _ = m, p
+	out = append(out, s...) // want "append without capacity evidence in hot-path function leaky"
+	return out
+}
+
+// escape leaks a closure and a composite address.
+//
+//meshlint:hotpath
+func escape(sink func(func() int)) *Buf {
+	sink(func() int { return 1 }) // want "closure in hot-path function escape may escape"
+	return &Buf{}                 // want "&composite literal in hot-path function escape escapes to the heap"
+}
+
+// confined closures — immediately invoked or only ever called — do not
+// escape and are allowed.
+//
+//meshlint:hotpath
+func confined(n int) int {
+	double := func(x int) int { return 2 * x }
+	return func() int { return double(n) }()
+}
+
+// amortized documents its growth append with a reasoned allow.
+//
+//meshlint:hotpath
+func amortized(b *Buf, v int) {
+	b.vals = append(b.vals, v) //meshlint:allow grows to the high-water mark once, then appends in place
+}
+
+// bareAllow forgets the reason: the allow itself is a finding and does
+// not suppress the append.
+//
+//meshlint:hotpath
+func bareAllow(b *Buf, v int) {
+	b.vals = append(b.vals, v) /* want "append without capacity evidence in hot-path function bareAllow" want "meshlint:allow needs a reason" */ //meshlint:allow
+}

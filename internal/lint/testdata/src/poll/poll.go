@@ -1,0 +1,57 @@
+// Package poll exercises the ctxpoll analyzer: every loop that advances
+// a walk (calls a hop method) must poll cancellation (call done) in its
+// condition or body.
+package poll
+
+type walk struct {
+	pos  int
+	stop func() error
+}
+
+// move is the hop method.
+func (w *walk) move() { w.pos++ }
+
+// done is the poll method.
+func (w *walk) done() bool { return w.stop != nil && w.stop() != nil }
+
+// courteous polls in the body: clean.
+func courteous(w *walk, n int) {
+	for i := 0; i < n; i++ {
+		if w.done() {
+			return
+		}
+		w.move()
+	}
+}
+
+// polled polls in the loop condition: clean.
+func polled(w *walk) {
+	for !w.done() {
+		w.move()
+	}
+}
+
+// runaway never polls.
+func runaway(w *walk, n int) {
+	for i := 0; i < n; i++ { // want "loop advances a walk"
+		w.move()
+	}
+}
+
+// drain is a range loop that never polls.
+func drain(w *walk, ws []int) {
+	for range ws { // want "loop advances a walk"
+		w.move()
+	}
+}
+
+// bookkeeping iterates without hop calls: unconstrained.
+func bookkeeping(ws []walk) int {
+	total := 0
+	for _, w := range ws {
+		total += w.pos
+	}
+	return total
+}
+
+var _, _, _, _, _ = courteous, polled, runaway, drain, bookkeeping

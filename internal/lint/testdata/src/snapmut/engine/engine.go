@@ -1,0 +1,21 @@
+// Package engine is the snapshotmut fixture's consumer: it serves from
+// a published geom.Analysis and may read it but never write it.
+package engine
+
+import "snapmut/geom"
+
+// Sum only reads the snapshot: no findings.
+func Sum(a *geom.Analysis) int {
+	s := 0
+	for _, c := range a.Cells {
+		s += c
+	}
+	return s
+}
+
+// Corrupt writes a published snapshot from outside the build package.
+func Corrupt(a *geom.Analysis) {
+	a.Ver = 2      // want "write to snapmut/geom.Analysis.Ver outside the snapshot build packages"
+	a.Ver++        // want "write to snapmut/geom.Analysis.Ver outside the snapshot build packages"
+	a.Cells[0] = 9 // want "write to snapmut/geom.Analysis.Cells outside the snapshot build packages"
+}

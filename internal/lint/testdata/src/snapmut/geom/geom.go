@@ -1,0 +1,21 @@
+// Package geom is the snapshotmut fixture's protected snapshot state:
+// the fixture config lists geom.Analysis as protected and this package
+// as the allowed build package, so mutation here is legal.
+package geom
+
+// Analysis stands in for the published, immutable analysis snapshot.
+type Analysis struct {
+	Cells []int
+	Ver   int
+}
+
+// Build constructs and freely mutates an Analysis: geom is the build
+// package, so none of these writes are findings.
+func Build(n int) *Analysis {
+	a := &Analysis{Cells: make([]int, n)}
+	a.Ver = 1
+	for i := range a.Cells {
+		a.Cells[i] = i
+	}
+	return a
+}

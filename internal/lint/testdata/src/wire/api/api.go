@@ -1,0 +1,29 @@
+// Package api is the wirecode fixture's error taxonomy: Err* sentinels,
+// Code* wire constants, and the ErrorCode classifier. ErrGood/CodeGood
+// are fully wired (classifier case, golden-test entry, status mapping in
+// wire/server); ErrLost and CodeDead each miss a layer.
+package api
+
+import "errors"
+
+var (
+	// ErrGood is classified, tested, and mapped: no findings.
+	ErrGood = errors.New("good")
+	// ErrLost was added without completing the taxonomy.
+	ErrLost = errors.New("lost") /* want "sentinel ErrLost has no case in ErrorCode" want "sentinel ErrLost has no golden-test entry" */
+)
+
+const (
+	// CodeGood is returned by ErrorCode and covered by the golden test.
+	CodeGood = "GOOD"
+	// CodeDead is never returned and never tested.
+	CodeDead = "DEAD" /* want "wire code CodeDead is dead" want "wire code CodeDead has no golden-test entry" */
+)
+
+// ErrorCode maps taxonomy errors to their stable wire codes.
+func ErrorCode(err error) string {
+	if errors.Is(err, ErrGood) {
+		return CodeGood
+	}
+	return ""
+}

@@ -1,0 +1,11 @@
+package api
+
+import "testing"
+
+// TestErrorCode is the golden table: ErrGood and CodeGood appear here,
+// ErrLost and CodeDead deliberately do not.
+func TestErrorCode(t *testing.T) {
+	if ErrorCode(ErrGood) != CodeGood {
+		t.Fatal("mapping broke")
+	}
+}

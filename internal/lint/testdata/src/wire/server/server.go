@@ -1,0 +1,25 @@
+// Package server is the wirecode fixture's HTTP surface: statusForCode
+// must cover every root code and every server-local Code* constant.
+// api.CodeDead is mapped here so its findings stay scoped to the root
+// package (dead + untested); CodeForgot misses its status case.
+package server
+
+import "wire/api"
+
+const (
+	// CodeExtra is a server-only code with a status case: no findings.
+	CodeExtra = "EXTRA"
+	// CodeForgot never made it into statusForCode.
+	CodeForgot = "FORGOT" // want "server wire code CodeForgot has no case in statusForCode"
+)
+
+// statusForCode maps wire codes onto HTTP statuses.
+func statusForCode(code string) int {
+	switch code {
+	case api.CodeGood, api.CodeDead, CodeExtra:
+		return 200
+	}
+	return 500
+}
+
+var _ = statusForCode

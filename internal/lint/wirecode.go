@@ -1,0 +1,202 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// WireCodeConfig parameterizes the wirecode analyzer for fixtures.
+type WireCodeConfig struct {
+	// RootPkg defines the error taxonomy: exported Err* sentinels
+	// (variables and error types), exported Code* string constants, and
+	// the ErrorCode classifier.
+	RootPkg string
+	// ServerPkg maps wire codes onto HTTP statuses in StatusFunc and may
+	// define additional server-only Code* constants.
+	ServerPkg string
+	// ErrorCodeFunc is the sentinel→code classifier in RootPkg.
+	ErrorCodeFunc string
+	// StatusFunc is the code→HTTP-status mapping in ServerPkg.
+	StatusFunc string
+}
+
+// DefaultWireCode wires the analyzer to the repo's taxonomy: meshroute's
+// Err* sentinels and Code* constants, server.statusForCode, and the
+// golden TestErrorCode table.
+var DefaultWireCode = WireCodeConfig{
+	RootPkg:       "repro",
+	ServerPkg:     "repro/internal/server",
+	ErrorCodeFunc: "ErrorCode",
+	StatusFunc:    "statusForCode",
+}
+
+// NewWireCode builds the wirecode analyzer. The error taxonomy is a
+// three-layer contract — sentinel error, stable wire code, HTTP status —
+// and every layer must stay exhaustive as sentinels are added:
+//
+//   - every exported Err* sentinel in the root package must have a case
+//     in ErrorCode (else new errors silently classify as internal),
+//   - every exported Code* constant (root and server) must appear in the
+//     server's status mapping (else it rides the 500 fallback),
+//   - every sentinel and root code must appear in the root package's
+//     test files (the golden TestErrorCode table),
+//   - a root Code* constant never referenced by ErrorCode is dead.
+func NewWireCode(cfg WireCodeConfig) *Analyzer {
+	a := &Analyzer{
+		Name: "wirecode",
+		Doc:  "cross-checks the Err* sentinel / wire-code / HTTP-status taxonomy",
+	}
+	a.RunProgram = func(prog *Program, report func(Diagnostic)) error {
+		root := prog.Package(cfg.RootPkg)
+		server := prog.Package(cfg.ServerPkg)
+		if root == nil || server == nil {
+			// Fixture trees may load only one side; analyze what exists.
+			if root == nil {
+				return nil
+			}
+		}
+		reportf := func(pos token.Pos, format string, args ...any) {
+			report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+		}
+
+		sentinels := collectSentinels(root)
+		rootCodes := collectCodes(root)
+
+		errorCodeIdents := identsInFunc(root, cfg.ErrorCodeFunc)
+		if errorCodeIdents == nil {
+			reportf(root.Files[0].Pos(), "no %s function found in %s: the sentinel→code classifier is missing", cfg.ErrorCodeFunc, cfg.RootPkg)
+			return nil
+		}
+		testIdents := identsInFiles(root.TestFiles)
+
+		for _, s := range sentinels {
+			if !errorCodeIdents[s.name] {
+				reportf(s.pos, "sentinel %s has no case in %s: it will classify as an internal error on the wire", s.name, cfg.ErrorCodeFunc)
+			}
+			if !testIdents[s.name] {
+				reportf(s.pos, "sentinel %s has no golden-test entry in %s's test files (the %s table must stay exhaustive)", s.name, cfg.RootPkg, cfg.ErrorCodeFunc)
+			}
+		}
+		for _, c := range rootCodes {
+			if !errorCodeIdents[c.name] {
+				reportf(c.pos, "wire code %s is dead: %s never returns it", c.name, cfg.ErrorCodeFunc)
+			}
+			if !testIdents[c.name] {
+				reportf(c.pos, "wire code %s has no golden-test entry in %s's test files", c.name, cfg.RootPkg)
+			}
+		}
+
+		if server == nil {
+			return nil
+		}
+		statusIdents := identsInFunc(server, cfg.StatusFunc)
+		if statusIdents == nil {
+			reportf(server.Files[0].Pos(), "no %s function found in %s: the code→status mapping is missing", cfg.StatusFunc, cfg.ServerPkg)
+			return nil
+		}
+		for _, c := range rootCodes {
+			if !statusIdents[c.name] {
+				reportf(c.pos, "wire code %s has no case in %s.%s: it would ride the 500 fallback", c.name, cfg.ServerPkg, cfg.StatusFunc)
+			}
+		}
+		for _, c := range collectCodes(server) {
+			if !statusIdents[c.name] {
+				reportf(c.pos, "server wire code %s has no case in %s: it would ride the 500 fallback", c.name, cfg.StatusFunc)
+			}
+		}
+		return nil
+	}
+	return a
+}
+
+type namedPos struct {
+	name string
+	pos  token.Pos
+}
+
+// collectSentinels finds the package's exported error sentinels: Err*
+// variables of error type and Err* types implementing error (possibly
+// via pointer receiver).
+func collectSentinels(pkg *Package) []namedPos {
+	var out []namedPos
+	errType := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	scope := pkg.Types.Scope()
+	for _, name := range scope.Names() {
+		if !strings.HasPrefix(name, "Err") || !ast.IsExported(name) {
+			continue
+		}
+		obj := scope.Lookup(name)
+		switch o := obj.(type) {
+		case *types.Var:
+			if types.Implements(o.Type(), errType) {
+				out = append(out, namedPos{name, o.Pos()})
+			}
+		case *types.TypeName:
+			t := o.Type()
+			if types.Implements(t, errType) || types.Implements(types.NewPointer(t), errType) {
+				out = append(out, namedPos{name, o.Pos()})
+			}
+		}
+	}
+	return out
+}
+
+// collectCodes finds the package's exported Code* string constants.
+func collectCodes(pkg *Package) []namedPos {
+	var out []namedPos
+	scope := pkg.Types.Scope()
+	for _, name := range scope.Names() {
+		if !strings.HasPrefix(name, "Code") || !ast.IsExported(name) {
+			continue
+		}
+		if c, ok := scope.Lookup(name).(*types.Const); ok {
+			// Wire codes are untyped string constants, so match on the
+			// string info bit rather than the (typed) string kind.
+			if basic, ok := c.Type().Underlying().(*types.Basic); ok && basic.Info()&types.IsString != 0 {
+				out = append(out, namedPos{name, c.Pos()})
+			}
+		}
+	}
+	return out
+}
+
+// identsInFunc returns the set of identifier names used in the body of
+// the named top-level function, or nil when it does not exist.
+func identsInFunc(pkg *Package, name string) map[string]bool {
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Recv != nil || fn.Name.Name != name || fn.Body == nil {
+				continue
+			}
+			idents := make(map[string]bool)
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok {
+					idents[id.Name] = true
+				}
+				return true
+			})
+			return idents
+		}
+	}
+	return nil
+}
+
+// identsInFiles returns every identifier name appearing in the files —
+// the syntactic evidence base for the golden-test check (test files are
+// not type-checked).
+func identsInFiles(files []*ast.File) map[string]bool {
+	idents := make(map[string]bool)
+	for _, file := range files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				idents[id.Name] = true
+			}
+			return true
+		})
+	}
+	return idents
+}
