@@ -106,6 +106,9 @@ const (
 	CodeInvalidFaultCount = "INVALID_FAULT_COUNT"
 	// CodeNotAdjacent identifies ErrNotAdjacent.
 	CodeNotAdjacent = "NOT_ADJACENT"
+	// CodeWatchClosed identifies ErrWatchClosed: the watch stream was
+	// explicitly closed and will deliver no further events.
+	CodeWatchClosed = "WATCH_CLOSED"
 )
 
 // ErrorCode returns the stable wire code for an error from the v1
@@ -133,6 +136,8 @@ func ErrorCode(err error) string {
 		return CodeInvalidFaultCount
 	case errors.Is(err, ErrNotAdjacent):
 		return CodeNotAdjacent
+	case errors.Is(err, ErrWatchClosed):
+		return CodeWatchClosed
 	case errors.As(err, &abort):
 		return CodeAborted
 	}

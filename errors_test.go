@@ -276,6 +276,12 @@ func TestErrorCode(t *testing.T) {
 		}(), CodeCanceled},
 		{"invalid fault count", net.InjectRandom(-1, 1), CodeInvalidFaultCount},
 		{"not adjacent", net.AddLinkFault(C(0, 0), C(3, 3)), CodeNotAdjacent},
+		{"watch closed", func() error {
+			w := net.Watch(ctx)
+			w.Close()
+			_, err := w.Next(ctx)
+			return err
+		}(), CodeWatchClosed},
 		{"outside taxonomy", errors.New("disk on fire"), ""},
 	} {
 		if tc.want != "" && tc.err == nil {

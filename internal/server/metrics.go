@@ -41,7 +41,7 @@ var errorCodes = []string{
 	meshroute.CodeOutsideMesh, meshroute.CodeFaultyEndpoint,
 	meshroute.CodeUnreachable, meshroute.CodeAborted,
 	meshroute.CodeCanceled, meshroute.CodeInvalidFaultCount,
-	meshroute.CodeNotAdjacent,
+	meshroute.CodeNotAdjacent, meshroute.CodeWatchClosed,
 }
 
 func newCollector() *collector {

@@ -50,6 +50,8 @@ func statusForCode(code string) int {
 		return http.StatusUnprocessableEntity // 422
 	case CodeRegistryFull:
 		return http.StatusTooManyRequests // 429
+	case meshroute.CodeWatchClosed:
+		return http.StatusGone // 410: the stream is over and will not resume
 	case meshroute.CodeCanceled:
 		return StatusCanceled // 499
 	case CodeStorage:
