@@ -54,7 +54,7 @@ func statusForCode(code string) int {
 		return http.StatusGone // 410: the stream is over and will not resume
 	case meshroute.CodeCanceled:
 		return StatusCanceled // 499
-	case CodeStorage:
+	case CodeInternal, CodeStorage:
 		return http.StatusInternalServerError // 500
 	}
 	return http.StatusInternalServerError // 500
