@@ -180,16 +180,28 @@ type Journal struct {
 	dir  string
 	opts Options
 
-	mu      sync.Mutex
-	wal     *os.File
-	state   *fault.Set // materialized fault set, for cutting checkpoints
+	mu sync.Mutex
+	//meshlint:guardedby mu
+	wal *os.File
+	// state is the materialized fault set, for cutting checkpoints.
+	//meshlint:guardedby mu
+	state *fault.Set
+	//meshlint:guardedby mu
 	version uint64
-	recent  []Record // records since the last checkpoint, oldest first
-	closed  bool
-	err     error // sticky first failure
-	stop    chan struct{}
-	done    chan struct{}
+	// recent holds the records since the last checkpoint, oldest first.
+	//meshlint:guardedby mu
+	recent []Record
+	//meshlint:guardedby mu
+	closed bool
+	// err is the sticky first failure.
+	//meshlint:guardedby mu
+	err error
+	// stop/done coordinate the FsyncInterval flusher; set once at
+	// construction, then only received on or closed.
+	stop chan struct{}
+	done chan struct{}
 
+	//meshlint:guardedby mu
 	records, checkpoints, errs uint64
 }
 
@@ -252,7 +264,10 @@ func Abandoned(dir string) bool {
 
 // Open recovers the journal in dir and reopens it for appending,
 // returning the recovered state (see Read). A torn final WAL frame is
-// truncated away so later appends extend a valid log.
+// truncated away so later appends extend a valid log. The journal is
+// unshared until Open returns.
+//
+//meshlint:locked mu
 func Open(dir string, opts Options) (*Journal, *State, error) {
 	_, st, recs, valid, err := read(dir)
 	if err != nil {
@@ -398,6 +413,9 @@ func readOnce(dir string) (*State, *State, []Record, int64, bool, error) {
 }
 
 // openWAL opens the WAL for appending, truncated to its valid prefix.
+// Runs during construction, before the journal is shared.
+//
+//meshlint:locked mu
 func (j *Journal) openWAL(valid int64) error {
 	f, err := os.OpenFile(filepath.Join(j.dir, walFile), os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
@@ -444,6 +462,8 @@ func (j *Journal) startFlusher() {
 }
 
 // fail latches the first failure; callers hold j.mu.
+//
+//meshlint:locked mu
 func (j *Journal) fail(err error) error {
 	j.errs++
 	if j.err == nil {

@@ -28,6 +28,8 @@ import (
 // order. An empty result at cu != ct means the leg is blocked (RB1
 // detours, RB2/RB3 re-plan). Callers pass the walk's two-slot buffer so
 // the per-hop decision allocates nothing.
+//
+//meshlint:hotpath
 func (e env) candidates(cu, ct mesh.Coord, dst []mesh.Direction) []mesh.Direction {
 	out := dst
 	for _, dir := range [2]mesh.Direction{mesh.PlusX, mesh.PlusY} {
@@ -48,12 +50,14 @@ func (e env) candidates(cu, ct mesh.Coord, dst []mesh.Direction) []mesh.Directio
 		if e.excluded(cu, target, ct) {
 			continue
 		}
-		out = append(out, dir)
+		out = append(out, dir) //meshlint:allow appends at most two directions into the caller's fixed two-slot candBuf
 	}
 	return out
 }
 
 // excluded applies Algorithm 2 step 2 for every triple stored at cu.
+//
+//meshlint:hotpath
 func (e env) excluded(cu, target, ct mesh.Coord) bool {
 	if e.store == nil {
 		return false

@@ -44,6 +44,8 @@ type detour struct {
 // the destination when possible and keeps the wall on the side the blocked
 // direction ended up on — the orientation choice of the f-ring traversal
 // literature, which picks the productive way around the region.
+//
+//meshlint:hotpath
 func (dt *detour) begin(w *walk, pos mesh.Coord, blocked mesh.Direction, dest mesh.Coord) bool {
 	start := func(h mesh.Direction) bool {
 		n := pos.Step(h)
@@ -74,6 +76,8 @@ func (dt *detour) begin(w *walk, pos mesh.Coord, blocked mesh.Direction, dest me
 
 // step advances one wall-following hop. ok=false means the episode cannot
 // continue (full circle walked or walled in).
+//
+//meshlint:hotpath
 func (dt *detour) step(w *walk, pos mesh.Coord) (mesh.Coord, bool) {
 	if w.sc.seenState(pos, dt.heading) {
 		return mesh.Coord{}, false
@@ -97,7 +101,11 @@ func (dt *detour) step(w *walk, pos mesh.Coord) (mesh.Coord, bool) {
 
 // fresh reports whether leaving the episode into c avoids re-entering
 // already-walked ground.
+//
+//meshlint:hotpath
 func (dt *detour) fresh(w *walk, c mesh.Coord) bool { return !w.sc.wasVisited(c) }
 
 // end closes the episode (the wall side persists across episodes).
+//
+//meshlint:hotpath
 func (dt *detour) end() { dt.active = false }

@@ -66,6 +66,8 @@ const maxPlanDepth = 64
 
 // newPlanner prepares an Equation 2 evaluation toward canonical
 // destination cd.
+//
+//meshlint:hotpath
 func newPlanner(a *Analysis, model info.Model, e env, find seqFinder, cd mesh.Coord, sc *Scratch) planner {
 	sc.planDepth = 0
 	sc.planLevel = 0
@@ -74,11 +76,15 @@ func newPlanner(a *Analysis, model info.Model, e env, find seqFinder, cd mesh.Co
 }
 
 // usable reports whether a corner can serve as an intermediate destination.
+//
+//meshlint:hotpath
 func (p *planner) usable(c mesh.Coord) bool {
 	return p.e.grid.Safe(c)
 }
 
 // memoPut records D(x, cd) in this planner's memo generation.
+//
+//meshlint:hotpath
 func (p *planner) memoPut(i int, d int, ok bool) {
 	p.tbl.memoGen[i] = p.gen
 	p.tbl.dist[i] = int32(d)
@@ -87,6 +93,8 @@ func (p *planner) memoPut(i int, d int, ok bool) {
 
 // dist evaluates D(x, cd) per Equation 2. ok=false means no valid option
 // exists from x (plan failure).
+//
+//meshlint:hotpath
 func (p *planner) dist(x mesh.Coord) (int, bool) {
 	xi := p.sc.index(x)
 	if p.tbl.memoGen[xi] == p.gen {
@@ -131,6 +139,8 @@ func (p *planner) dist(x mesh.Coord) (int, bool) {
 
 // options evaluates Equation 3 for the sequence blocking x and returns the
 // best distance with its pivot chain (at most two pivots).
+//
+//meshlint:hotpath
 func (p *planner) options(x mesh.Coord, seq *mcc.Sequence) (best int, pivots [2]mesh.Coord, npivots int, ok bool) {
 	// The corner walk of Sequence.Corners, iterated in place: the slice it
 	// materializes per call was a top allocation of the planned hot path.
@@ -168,6 +178,8 @@ func (p *planner) options(x mesh.Coord, seq *mcc.Sequence) (best int, pivots [2]
 
 // plan runs Equations 2/3 from canonical position cu against an
 // already-identified blocking sequence.
+//
+//meshlint:hotpath
 func (p *planner) plan(cu mesh.Coord, seq *mcc.Sequence) planResult {
 	d, pivots, n, ok := p.options(cu, seq)
 	return planResult{dist: d, pivots: pivots, npivots: n, ok: ok}
@@ -176,6 +188,8 @@ func (p *planner) plan(cu mesh.Coord, seq *mcc.Sequence) planResult {
 // findSequenceFull is RB2's finder: under model B2 every node inside a
 // forbidden region holds the full identified information, so the geometric
 // query of package mcc is exactly what the node can compute.
+//
+//meshlint:hotpath
 func findSequenceFull(e env, cu, cd mesh.Coord) *mcc.Sequence {
 	return e.set.FindSequence(cu, cd)
 }
@@ -185,6 +199,8 @@ func findSequenceFull(e env, cu, cd mesh.Coord) *mcc.Sequence {
 // (Equation 5). Interior nodes without deposited information cannot
 // identify sequences and route by Algorithm 2 alone — the source of RB3's
 // sub-optimality that Figure 5(d) quantifies.
+//
+//meshlint:hotpath
 func findSequenceB3(e env, cu, cd mesh.Coord) *mcc.Sequence {
 	if e.store == nil || !e.store.HasInfo(cu) {
 		return nil
@@ -212,6 +228,8 @@ func findSequenceB3(e env, cu, cd mesh.Coord) *mcc.Sequence {
 // (west), per Equations 4/5. Unlike RB2's geometric search it cannot
 // certify the chain with a DP — the node only has the records — so false
 // positives cause detours that the evaluation measures.
+//
+//meshlint:hotpath
 func chainFromRelations(e env, seed *mcc.MCC, cu, cd mesh.Coord, typeII bool) *mcc.Sequence {
 	inForbidden := func(f *mcc.MCC, c mesh.Coord) bool {
 		if typeII {
@@ -234,12 +252,27 @@ func chainFromRelations(e env, seed *mcc.MCC, cu, cd mesh.Coord, typeII bool) *m
 	if !inForbidden(seed, cu) {
 		return nil
 	}
-	chain := []*mcc.MCC{seed}
-	onChain := map[int]bool{seed.ID: true}
+	// The working chain lives in a small stack buffer: most calls fail
+	// (no recorded chain reaches the destination's critical region), and
+	// the failure path must not allocate — this runs once per planner
+	// node evaluation. Membership is a linear scan over the chain built
+	// so far (chains are a handful of components), replacing the
+	// per-call dedup map. Only an identified sequence is copied out: it
+	// escapes into the plan.
+	var buf [8]*mcc.MCC
+	chain := append(buf[:0], seed)
+	onChain := func(id int) bool {
+		for _, f := range chain {
+			if f.ID == id {
+				return true
+			}
+		}
+		return false
+	}
 	cur := seed
 	for range e.set.All() {
 		if inCritical(cur, cd) {
-			return &mcc.Sequence{Chain: chain, TypeII: typeII}
+			return &mcc.Sequence{Chain: append([]*mcc.MCC(nil), chain...), TypeII: typeII} //meshlint:allow the identified sequence escapes into the plan; one copy per successful identification
 		}
 		if inForbidden(cur, cd) {
 			return nil // destination is underneath the chain
@@ -248,7 +281,7 @@ func chainFromRelations(e env, seed *mcc.MCC, cu, cd mesh.Coord, typeII bool) *m
 		var next *mcc.MCC
 		bestKey := 0
 		for _, g := range succ(cur) {
-			if onChain[g.ID] {
+			if onChain(g.ID) {
 				continue
 			}
 			key := g.Corner().Y
@@ -262,8 +295,7 @@ func chainFromRelations(e env, seed *mcc.MCC, cu, cd mesh.Coord, typeII bool) *m
 		if next == nil {
 			return nil
 		}
-		chain = append(chain, next)
-		onChain[next.ID] = true
+		chain = append(chain, next) //meshlint:allow spills past the 8-component stack buffer only for pathologically long chains
 		cur = next
 	}
 	return nil

@@ -118,6 +118,8 @@ type Result struct {
 }
 
 // Route simulates algo from s to d over the analyzed fault configuration.
+//
+//meshlint:hotpath
 func Route(a *Analysis, algo Algo, s, d mesh.Coord, opt Options) Result {
 	if !a.m.In(s) || !a.m.In(d) {
 		return Result{Abort: "endpoint outside mesh"}
@@ -152,7 +154,7 @@ func Route(a *Analysis, algo Algo, s, d mesh.Coord, opt Options) Result {
 	// for the next walk.
 	sc.path = res.Path
 	if borrowed {
-		res.Path = append([]mesh.Coord(nil), res.Path...)
+		res.Path = append([]mesh.Coord(nil), res.Path...) //meshlint:allow detached copy for the borrowed-scratch path; callers opting into zero-alloc routing pass their own Scratch
 		scratchPool.Put(sc)
 	}
 	return res
@@ -188,6 +190,8 @@ type walk struct {
 }
 
 // obstacle reports whether in-mesh node c lies on the current detour wall.
+//
+//meshlint:hotpath
 func (w *walk) obstacle(c mesh.Coord) bool {
 	idx := w.sc.index(c)
 	return w.wallMask[idx>>6]&(1<<(uint(idx)&63)) != 0
@@ -201,6 +205,7 @@ const (
 	abortVisits = 12
 )
 
+//meshlint:hotpath
 func (a *Analysis) newWalk(s, d mesh.Coord, opt Options) *walk {
 	sc := opt.Scratch
 	sc.nextWalk()
@@ -219,9 +224,11 @@ func (a *Analysis) newWalk(s, d mesh.Coord, opt Options) *walk {
 }
 
 // arrive records the hop target and runs livelock detection.
+//
+//meshlint:hotpath
 func (w *walk) arrive(n mesh.Coord) {
 	w.u = n
-	w.res.Path = append(w.res.Path, n)
+	w.res.Path = append(w.res.Path, n) //meshlint:allow arrival log reuses the scratch path buffer; it grows only to the walk high-water mark, then steady-state appends are in place
 	switch c := w.sc.bumpVisit(n); {
 	case c == flipVisits:
 		w.dt.leftHand = !w.dt.leftHand
@@ -235,6 +242,8 @@ func (w *walk) arrive(n mesh.Coord) {
 }
 
 // move advances to n as a normal (non-detour) hop, closing any episode.
+//
+//meshlint:hotpath
 func (w *walk) move(n mesh.Coord) {
 	if w.dt.active {
 		w.dt.end()
@@ -245,6 +254,8 @@ func (w *walk) move(n mesh.Coord) {
 // detourMove tries to advance one wall-following hop; when the episode is
 // exhausted it falls back to the normal candidate (if any). ok=false means
 // the walk must abort.
+//
+//meshlint:hotpath
 func (w *walk) detourMove(haveNormal bool, normal mesh.Coord, blocked mesh.Direction) bool {
 	if !w.dt.active {
 		if !w.dt.begin(w, w.u, blocked, w.d) {
@@ -277,6 +288,8 @@ func (w *walk) detourMove(haveNormal bool, normal mesh.Coord, blocked mesh.Direc
 
 // downgrade switches the detour wall to faulty-only; reports whether the
 // switch changed anything.
+//
+//meshlint:hotpath
 func (w *walk) downgrade() bool {
 	if w.downgraded {
 		return false
@@ -290,6 +303,8 @@ func (w *walk) downgrade() bool {
 // stepOrDetour performs one hop: the normal step when it exists and does
 // not re-enter the active episode's walked ground, a wall-following hop
 // otherwise.
+//
+//meshlint:hotpath
 func (w *walk) stepOrDetour(haveNormal bool, normal mesh.Coord, blocked mesh.Direction) bool {
 	if haveNormal && (!w.dt.active || w.dt.fresh(w, normal)) {
 		w.move(normal)
@@ -298,12 +313,14 @@ func (w *walk) stepOrDetour(haveNormal bool, normal mesh.Coord, blocked mesh.Dir
 	return w.detourMove(haveNormal, normal, blocked)
 }
 
+//meshlint:hotpath
 func (w *walk) finish() Result {
 	w.res.Delivered = true
 	w.res.Hops = len(w.res.Path) - 1
 	return w.res
 }
 
+//meshlint:hotpath
 func (w *walk) exhausted() Result {
 	switch {
 	case w.res.Abort != "": // canceled via Options.Stop; keep the reason
@@ -317,6 +334,8 @@ func (w *walk) exhausted() Result {
 
 // done reports whether the walk should stop without delivery. It is called
 // once per hop and doubles as the Options.Stop poll site.
+//
+//meshlint:hotpath
 func (w *walk) done(maxHops int) bool {
 	if w.stop != nil {
 		if w.stopIn--; w.stopIn < 0 {
@@ -333,6 +352,8 @@ func (w *walk) done(maxHops int) bool {
 // useUnsafeWall points the detour wall at the unsafe region of the leg's
 // orientation; faulty cells are unsafe in every orientation, so this is a
 // superset of the E-cube wall.
+//
+//meshlint:hotpath
 func (w *walk) useUnsafeWall(e env) {
 	w.wallMask = w.a.unsafeMask(e.orient)
 }
@@ -340,6 +361,8 @@ func (w *walk) useUnsafeWall(e env) {
 // progressDir returns the blocked progress direction in original
 // coordinates when a leg's candidate set empties: the canonical direction
 // with the larger remaining offset toward the leg target.
+//
+//meshlint:hotpath
 func (w *walk) progressDir(cu, ct mesh.Coord, e env) mesh.Direction {
 	dir := mesh.PlusX
 	if ct.Y-cu.Y > ct.X-cu.X {
@@ -350,6 +373,8 @@ func (w *walk) progressDir(cu, ct mesh.Coord, e env) mesh.Direction {
 
 // routeEcube is dimension-order XY routing with wall-following detours
 // around faulty regions, the baseline of Figure 5(e).
+//
+//meshlint:hotpath
 func (a *Analysis) routeEcube(s, d mesh.Coord, opt Options) Result {
 	w := a.newWalk(s, d, opt)
 	for !w.done(opt.maxHops(a.m)) {
@@ -367,6 +392,8 @@ func (a *Analysis) routeEcube(s, d mesh.Coord, opt Options) Result {
 }
 
 // dimOrderDir is the XY dimension-order preference: correct X, then Y.
+//
+//meshlint:hotpath
 func dimOrderDir(u, d mesh.Coord) mesh.Direction {
 	switch {
 	case u.X < d.X:
@@ -383,6 +410,8 @@ func dimOrderDir(u, d mesh.Coord) mesh.Direction {
 // routeRB1 is Algorithm 3: Algorithm 2 decisions on B1 information, with a
 // wall-following detour around the blocking region whenever the candidate
 // set empties.
+//
+//meshlint:hotpath
 func (a *Analysis) routeRB1(s, d mesh.Coord, opt Options) Result {
 	w := a.newWalk(s, d, opt)
 	for !w.done(opt.maxHops(a.m)) {
@@ -415,6 +444,8 @@ func (a *Analysis) routeRB1(s, d mesh.Coord, opt Options) Result {
 // RB3 (Algorithm 7): identify the closest blocking sequence, evaluate
 // Equations 2/3 for the detour pivots, route Manhattan legs to each pivot,
 // and repeat from there.
+//
+//meshlint:hotpath
 func (a *Analysis) routePlanned(s, d mesh.Coord, opt Options, model info.Model, find seqFinder) Result {
 	w := a.newWalk(s, d, opt)
 	// pending holds the pivots ahead in original coordinates; Equation 3

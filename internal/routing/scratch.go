@@ -63,12 +63,21 @@ func NewScratch(m mesh.Mesh) *Scratch {
 	return sc
 }
 
-// ensure (re)sizes the tables for m. Resizing resets every epoch.
+// ensure (re)sizes the tables for m. The warm path is the size check
+// alone; an actual resize (first use, or a mesh change) drops to the
+// unannotated grow, which may allocate.
+//
+//meshlint:hotpath
 func (sc *Scratch) ensure(m mesh.Mesh) {
-	n := m.Nodes()
-	if sc.nodes == n && sc.width == m.Width() {
-		return
+	if n := m.Nodes(); sc.nodes != n || sc.width != m.Width() {
+		sc.grow(m)
 	}
+}
+
+// grow resizes the tables for m and resets every epoch. Cold by
+// construction: ensure only calls it when the mesh shape changed.
+func (sc *Scratch) grow(m mesh.Mesh) {
+	n := m.Nodes()
 	sc.nodes, sc.width = n, m.Width()
 	sc.visit = make([]uint8, n)
 	sc.visitGen = make([]uint32, n)
@@ -80,10 +89,14 @@ func (sc *Scratch) ensure(m mesh.Mesh) {
 
 // index is the dense node index of an in-mesh coordinate. Callers
 // guarantee c is inside the mesh (the walk only tests in-mesh nodes).
+//
+//meshlint:hotpath
 func (sc *Scratch) index(c mesh.Coord) int { return c.Y*sc.width + c.X }
 
 // nextWalk starts a new walk epoch; on uint32 wraparound the tag tables
 // are cleared so stale marks can never collide.
+//
+//meshlint:hotpath
 func (sc *Scratch) nextWalk() {
 	sc.walkGen++
 	if sc.walkGen == 0 {
@@ -93,6 +106,8 @@ func (sc *Scratch) nextWalk() {
 }
 
 // bumpVisit increments and returns c's visit count for the current walk.
+//
+//meshlint:hotpath
 func (sc *Scratch) bumpVisit(c mesh.Coord) int {
 	i := sc.index(c)
 	if sc.visitGen[i] != sc.walkGen {
@@ -104,6 +119,8 @@ func (sc *Scratch) bumpVisit(c mesh.Coord) int {
 }
 
 // nextEpisode starts a new detour episode epoch.
+//
+//meshlint:hotpath
 func (sc *Scratch) nextEpisode() {
 	sc.episodeGen++
 	if sc.episodeGen == 0 {
@@ -115,6 +132,8 @@ func (sc *Scratch) nextEpisode() {
 
 // seenState marks (c, heading) for the current episode and reports whether
 // it was already seen.
+//
+//meshlint:hotpath
 func (sc *Scratch) seenState(c mesh.Coord, heading mesh.Direction) bool {
 	i := sc.index(c)*4 + int(heading) - 1
 	if sc.seen[i] == sc.episodeGen {
@@ -125,9 +144,13 @@ func (sc *Scratch) seenState(c mesh.Coord, heading mesh.Direction) bool {
 }
 
 // markVisited records c as walked ground of the current episode.
+//
+//meshlint:hotpath
 func (sc *Scratch) markVisited(c mesh.Coord) { sc.visited[sc.index(c)] = sc.episodeGen }
 
 // wasVisited reports whether c is walked ground of the current episode.
+//
+//meshlint:hotpath
 func (sc *Scratch) wasVisited(c mesh.Coord) bool { return sc.visited[sc.index(c)] == sc.episodeGen }
 
 // planTable is one nesting level's Equation 2 memo: per-node distance and
@@ -143,14 +166,11 @@ type planTable struct {
 
 // planTableAt opens a fresh planner generation in the table of the given
 // nesting level, growing the level stack on demand.
+//
+//meshlint:hotpath
 func (sc *Scratch) planTableAt(level int) *planTable {
 	for len(sc.planTables) <= level {
-		sc.planTables = append(sc.planTables, &planTable{
-			dist:      make([]int32, sc.nodes),
-			ok:        make([]bool, sc.nodes),
-			memoGen:   make([]uint32, sc.nodes),
-			onPathGen: make([]uint32, sc.nodes),
-		})
+		sc.planTables = append(sc.planTables, newPlanTable(sc.nodes)) //meshlint:allow level stack grows only to the deepest cross-orientation nesting ever seen, then is reused
 	}
 	t := sc.planTables[level]
 	t.gen++
@@ -160,6 +180,17 @@ func (sc *Scratch) planTableAt(level int) *planTable {
 		t.gen = 1
 	}
 	return t
+}
+
+// newPlanTable allocates one nesting level's memo tables (cold: called
+// only while the level stack is still growing).
+func newPlanTable(nodes int) *planTable {
+	return &planTable{
+		dist:      make([]int32, nodes),
+		ok:        make([]bool, nodes),
+		memoGen:   make([]uint32, nodes),
+		onPathGen: make([]uint32, nodes),
+	}
 }
 
 // scratchPool backs Route calls without a caller-provided scratch.

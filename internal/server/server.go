@@ -145,9 +145,13 @@ type Server struct {
 	base     context.Context // canceled (with cause) by Drain
 	cancel   context.CancelCauseFunc
 
-	mu       sync.RWMutex
-	meshes   map[string]*meshEntry
-	creating map[string]struct{} // names reserved by in-flight creates
+	mu sync.RWMutex
+	// meshes is the registry of live meshes.
+	//meshlint:guardedby mu
+	meshes map[string]*meshEntry
+	// creating holds names reserved by in-flight creates.
+	//meshlint:guardedby mu
+	creating map[string]struct{}
 }
 
 // New returns an empty Server.

@@ -41,8 +41,10 @@ type Oracle struct {
 	hits   *atomic.Uint64 // queries served from an already-resident field
 	misses *atomic.Uint64 // queries that had to create (and fill) a field
 
-	mu     sync.Mutex
-	fields map[int]*oracleField // keyed by source mesh.Index
+	mu sync.Mutex
+	// fields is the resident cache, keyed by source mesh.Index.
+	//meshlint:guardedby mu
+	fields map[int]*oracleField
 
 	// ring is a circular FIFO of the resident source indices (head is the
 	// oldest, count entries in use). The previous implementation kept the
@@ -50,8 +52,11 @@ type Oracle struct {
 	// which pins the evicted backing array forever and re-allocates the
 	// tail on every append — under eviction churn the "bounded" cache's
 	// order slice grew without bound. The ring reuses its storage.
-	ring  []int
-	head  int
+	//meshlint:guardedby mu
+	ring []int
+	//meshlint:guardedby mu
+	head int
+	//meshlint:guardedby mu
 	count int
 }
 
@@ -160,6 +165,8 @@ func (o *Oracle) entryLocked(idx int) (e *oracleField, created bool) {
 }
 
 // count bumps the hit or miss counter for one query.
+//
+//meshlint:hotpath
 func (o *Oracle) countQuery(created bool) {
 	if created {
 		o.misses.Add(1)
@@ -188,6 +195,8 @@ func (o *Oracle) fill(e *oracleField, src mesh.Coord) *BFS {
 
 // Field returns the filled BFS distance field from src, computing it at
 // most once per cache residency.
+//
+//meshlint:hotpath
 func (o *Oracle) Field(src mesh.Coord) *BFS {
 	idx := o.f.Mesh().Index(src)
 	o.mu.Lock()
@@ -201,6 +210,8 @@ func (o *Oracle) Field(src mesh.Coord) *BFS {
 // undirected, so a field rooted at either endpoint answers; an existing
 // field for d is preferred over computing one for s. One index-lock
 // acquisition covers both the d-peek and the s-create.
+//
+//meshlint:hotpath
 func (o *Oracle) Dist(s, d mesh.Coord) int32 {
 	m := o.f.Mesh()
 	if !m.In(s) || !m.In(d) {

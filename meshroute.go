@@ -129,8 +129,13 @@ type Network struct {
 	opts    atomic.Pointer[routing.Options] // walk defaults (SetPolicy); never nil
 	pending atomic.Int64                    // edits staged by an in-flight Apply
 
-	watchMu      sync.Mutex // guards the watcher registry
-	watchers     map[uint64]*Watch
+	watchMu sync.Mutex // guards the watcher registry
+	// watchers is the live watcher registry; fanout iterates it inside
+	// the engine's writer critical section.
+	//meshlint:guardedby watchMu
+	watchers map[uint64]*Watch
+	// watchSeq issues watcher ids.
+	//meshlint:guardedby watchMu
 	watchSeq     uint64
 	watchDropped atomic.Uint64 // events dropped on slow watchers (Stats)
 }

@@ -62,18 +62,25 @@ func WithWatchBuffer(n int) WatchOption {
 // or select on Ready and drain with Poll. A Watch is single-consumer:
 // share events, not the iterator.
 type Watch struct {
-	n      *Network
-	id     uint64
-	limit  int
-	ready  chan struct{}
-	unhook func() bool // deregisters the context AfterFunc; nil without one
+	n     *Network
+	id    uint64
+	limit int
+	ready chan struct{}
 
 	// mu guards the queue; the publisher (the engine's OnPublish hook)
 	// enqueues under it, so it must never be held across blocking work.
-	mu     sync.Mutex
-	queue  []FaultEvent
+	mu sync.Mutex
+	// queue is the bounded event buffer.
+	//meshlint:guardedby mu
+	queue []FaultEvent
+	// closed marks the stream over; err is then the terminal cause.
+	//meshlint:guardedby mu
 	closed bool
-	err    error
+	//meshlint:guardedby mu
+	err error
+	// unhook deregisters the context AfterFunc; nil without one.
+	//meshlint:guardedby mu
+	unhook func() bool
 }
 
 func (w *Watch) lock()   { w.mu.Lock() }
