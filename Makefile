@@ -28,7 +28,16 @@ BENCH_COUNT ?= 6
 # benchstat baseline ref for bench-compare.
 BENCH_BASE ?= origin/main
 
-.PHONY: all build vet fmt-check staticcheck test test-examples race bench-smoke bench-json bench-compare serve loadgen smoke fuzz-smoke recover-smoke check
+# Pinned analysis-tool versions. tools-ci installs exactly these and the
+# local targets refuse to run a drifted binary, so local runs and CI see
+# the same findings. Pinning lives here (not in go.mod) because the
+# module itself stays dependency-free: these are toolchain dependencies,
+# not library ones. meshlint needs no pin at all — its checked-in source
+# under internal/lint IS the version.
+STATICCHECK_VERSION ?= 2025.1
+GOVULNCHECK_VERSION ?= v1.1.4
+
+.PHONY: all build vet fmt-check staticcheck govulncheck lint tools-ci test test-examples race bench-smoke bench-json bench-compare serve loadgen smoke fuzz-smoke recover-smoke check
 
 all: check
 
@@ -45,14 +54,49 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-# Runs staticcheck when installed; skips (with a hint) when not, so the
-# gate never requires network access. CI installs it explicitly.
+# Installs the pinned analysis tools (network required). CI runs this
+# before its check steps; locally it is opt-in.
+tools-ci:
+	$(GO) install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)
+	$(GO) install golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION)
+
+# Runs the pinned staticcheck. A drifted binary always fails (local and
+# CI must see the same findings); a missing one skips with a hint
+# locally — the gate never requires network access — but FAILS when CI
+# or STRICT_TOOLS is set, closing the old skip-if-absent hole that let a
+# CI image without the tool pass silently.
 staticcheck:
 	@if command -v staticcheck >/dev/null 2>&1; then \
-		staticcheck ./...; \
+		got="$$(staticcheck -version 2>/dev/null)"; \
+		case "$$got" in \
+		*"$(STATICCHECK_VERSION)"*) staticcheck ./... ;; \
+		*) echo "staticcheck version drift: have '$$got', want $(STATICCHECK_VERSION) (run: make tools-ci)"; exit 1 ;; \
+		esac; \
+	elif [ -n "$$CI$$STRICT_TOOLS" ]; then \
+		echo "staticcheck $(STATICCHECK_VERSION) required in CI (run: make tools-ci)"; exit 1; \
 	else \
-		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+		echo "staticcheck not installed; skipping (make tools-ci installs $(STATICCHECK_VERSION))"; \
 	fi
+
+# Scans for known vulnerabilities in dependency and stdlib usage.
+# Network-dependent (it fetches the vulnerability DB): skips with a hint
+# when the binary is absent locally, fails under CI/STRICT_TOOLS.
+govulncheck:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	elif [ -n "$$CI$$STRICT_TOOLS" ]; then \
+		echo "govulncheck required in CI (run: make tools-ci)"; exit 1; \
+	else \
+		echo "govulncheck not installed; skipping (make tools-ci installs $(GOVULNCHECK_VERSION))"; \
+	fi
+
+# meshlint: the repo's own invariant analyzers (internal/lint, run via
+# cmd/meshlint; see ARCHITECTURE.md "Enforced invariants"). Blocking —
+# a finding fails check and CI. Self-contained on the standard library,
+# so the checked-in analyzer source is the pinned version: local runs
+# and CI cannot drift and no install step exists to skip.
+lint:
+	$(GO) run ./cmd/meshlint ./...
 
 test:
 	$(GO) test ./...
@@ -188,4 +232,4 @@ recover-smoke:
 	kill -TERM $$pid 2>/dev/null || true; wait $$pid 2>/dev/null || true; \
 	rm -rf $$tmp; exit $$status
 
-check: fmt-check vet build staticcheck test test-examples race bench-smoke fuzz-smoke
+check: fmt-check vet build staticcheck lint test test-examples race bench-smoke fuzz-smoke govulncheck

@@ -1,0 +1,29 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// TestMeshlintCleanOnHead is the dogfood gate: the full blocking
+// analyzer suite must report nothing on the repository itself, exactly
+// as `make lint` runs it. A finding here means either new code broke an
+// invariant contract or an analyzer regressed into a false positive —
+// both block.
+func TestMeshlintCleanOnHead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module type-check is too slow for -short (the race suite)")
+	}
+	prog, err := lint.LoadModule("../..")
+	if err != nil {
+		t.Fatalf("load module: %v", err)
+	}
+	diags, err := prog.Run(lint.BlockingAnalyzers()...)
+	if err != nil {
+		t.Fatalf("run analyzers: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s: [%s] %s", prog.Fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+}
