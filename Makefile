@@ -37,7 +37,7 @@ BENCH_BASE ?= origin/main
 STATICCHECK_VERSION ?= 2025.1
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: all build vet fmt-check staticcheck govulncheck lint tools-ci test test-examples race bench-smoke bench-json bench-compare serve loadgen smoke fuzz-smoke recover-smoke check
+.PHONY: all build vet fmt-check staticcheck govulncheck lint tools-ci test test-examples race bench-smoke bench-json bench-compare serve loadgen smoke fuzz-smoke recover-smoke chaos-smoke check
 
 all: check
 
@@ -182,6 +182,62 @@ smoke:
 			-requests 500 -workers 8 -churn 25ms; then status=0; fi; \
 	else echo "meshd did not start"; fi; \
 	kill -TERM $$pid 2>/dev/null || true; wait $$pid || status=1; \
+	rm -rf $$tmp; exit $$status
+
+# Storage-chaos smoke (CI gate): boot meshd with an armed errfs
+# failpoint (the 8th WAL fsync fails, landing mid-churn) plus admission
+# control, and drive it with the chaos-aware load generator. -chaos
+# makes STORAGE and residual RESOURCE_EXHAUSTED expected outcomes while
+# anything outside the documented taxonomy (5xx, transport errors,
+# undecodable bodies) still fails the run. Then assert the degradation
+# ladder over curl: /healthz reports degraded (200 by default, 503 under
+# ?strict=1), routes on the degraded mesh still serve, commits refuse
+# with STORAGE. Finally kill -9 and reboot the same data dir without the
+# failpoint: strict health is ok again and a commit succeeds — the sick
+# journal lost no durable state.
+chaos-smoke:
+	@set -e; tmp=$$(mktemp -d); status=1; \
+	$(GO) build -o $$tmp/meshd ./cmd/meshd; \
+	$(GO) build -o $$tmp/meshload ./cmd/meshload; \
+	$$tmp/meshd -addr 127.0.0.1:0 -addr-file $$tmp/addr -data-dir $$tmp/data \
+		-fail sync:path=wal.log:nth=8:err=eio \
+		-tenant-rate 2000 -tenant-burst 500 -max-inflight 64 & pid=$$!; \
+	for i in $$(seq 1 100); do [ -s $$tmp/addr ] && break; sleep 0.1; done; \
+	if [ -s $$tmp/addr ]; then \
+		addr=$$(cat $$tmp/addr); \
+		if $$tmp/meshload -addr $$addr -chaos -keep -mesh chaos -duration 3s \
+			-requests 0 -n 16 -faults 20 -workers 4 -churn 50ms; then \
+			status=0; \
+			curl -s http://$$addr/healthz | grep -q '"status":"degraded"' \
+				|| { echo "chaos-smoke: healthz not degraded"; status=1; }; \
+			[ "$$(curl -s -o /dev/null -w '%{http_code}' "http://$$addr/healthz?strict=1")" = 503 ] \
+				|| { echo "chaos-smoke: strict healthz not 503"; status=1; }; \
+			[ "$$(curl -s -o /dev/null -w '%{http_code}' -X POST http://$$addr/v1/meshes/chaos/route \
+				-d '{"src":{"x":0,"y":0},"dst":{"x":3,"y":3}}')" = 200 ] \
+				|| { echo "chaos-smoke: route on degraded mesh not 200"; status=1; }; \
+			curl -s -X POST http://$$addr/v1/meshes/chaos/faults \
+				-d '{"ops":[{"op":"add","at":{"x":9,"y":9}}]}' | grep -q '"STORAGE"' \
+				|| { echo "chaos-smoke: commit on sick journal not STORAGE"; status=1; }; \
+		fi; \
+	else echo "meshd did not start"; fi; \
+	kill -9 $$pid 2>/dev/null; wait $$pid 2>/dev/null || true; \
+	if [ $$status -eq 0 ]; then \
+		rm -f $$tmp/addr; status=1; \
+		$$tmp/meshd -addr 127.0.0.1:0 -addr-file $$tmp/addr -data-dir $$tmp/data & pid=$$!; \
+		for i in $$(seq 1 100); do [ -s $$tmp/addr ] && break; sleep 0.1; done; \
+		if [ -s $$tmp/addr ]; then \
+			addr=$$(cat $$tmp/addr); \
+			if [ "$$(curl -s -o $$tmp/health -w '%{http_code}' "http://$$addr/healthz?strict=1")" = 200 ] \
+				&& grep -q '"status":"ok"' $$tmp/health; then \
+				if curl -sf -X POST http://$$addr/v1/meshes/chaos/faults \
+					-d '{"ops":[{"op":"add","at":{"x":9,"y":9}}]}' >/dev/null; then \
+					echo "chaos-smoke: degraded under fault, recovered on reboot, committing again"; \
+					status=0; \
+				else echo "chaos-smoke: commit after recovery failed"; fi; \
+			else echo "chaos-smoke: strict healthz after reboot not ok: $$(cat $$tmp/health)"; fi; \
+			kill -TERM $$pid 2>/dev/null || true; wait $$pid 2>/dev/null || true; \
+		else echo "chaos-smoke: rebooted meshd did not start"; fi; \
+	fi; \
 	rm -rf $$tmp; exit $$status
 
 # Native Go fuzz smoke over the journal's frame decoder: corrupt and

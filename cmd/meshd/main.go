@@ -8,7 +8,9 @@
 //	meshd [-addr 127.0.0.1:8080] [-addr-file path] [-drain 10s] \
 //	      [-max-nodes N] [-max-meshes N] [-max-batch-pairs N] \
 //	      [-oracle-bound N] \
-//	      [-data-dir dir] [-fsync always|none|100ms] [-checkpoint-every N]
+//	      [-data-dir dir] [-fsync always|none|100ms] [-checkpoint-every N] \
+//	      [-tenant-rate R] [-tenant-burst N] [-max-inflight N] \
+//	      [-admit-queue N] [-admit-wait D] [-fail spec]...
 //
 // With -data-dir, mesh state is durable: every committed fault
 // transaction is journaled (internal/journal) under <dir>/<mesh>, and on
@@ -17,6 +19,19 @@
 // picks the durability policy (fsync per transaction, a background
 // flush interval, or none) and -checkpoint-every the WAL compaction
 // cadence.
+//
+// -tenant-rate and -max-inflight turn on admission control
+// (internal/admission): per-tenant token buckets keyed by the X-Tenant
+// header plus a global concurrency gate with a bounded wait queue.
+// Requests past the budget get 429 RESOURCE_EXHAUSTED with a
+// Retry-After hint instead of unbounded queueing.
+//
+// -fail (repeatable, testing only) arms a storage failpoint
+// (internal/errfs) under every mesh journal, e.g.
+// "sync:path=wal.log:nth=12:err=eio" fails the 12th WAL fsync. The
+// affected mesh degrades to read-only — routes serve, commits refuse
+// with STORAGE, /healthz reports degraded — which is exactly what
+// `make chaos-smoke` asserts.
 //
 // On SIGINT/SIGTERM the daemon drains gracefully: the listener stops
 // accepting, /healthz flips to 503, and in-flight requests get the drain
@@ -36,12 +51,35 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/admission"
+	"repro/internal/errfs"
 	"repro/internal/journal"
 	"repro/internal/server"
 )
+
+// failFlag collects repeatable -fail specs into errfs faults.
+type failFlag []errfs.Fault
+
+func (f *failFlag) String() string {
+	specs := make([]string, len(*f))
+	for i, fault := range *f {
+		specs[i] = fault.String()
+	}
+	return strings.Join(specs, ",")
+}
+
+func (f *failFlag) Set(s string) error {
+	fault, err := errfs.ParseSpec(s)
+	if err != nil {
+		return err
+	}
+	*f = append(*f, fault)
+	return nil
+}
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port)")
@@ -54,11 +92,32 @@ func main() {
 	dataDir := flag.String("data-dir", "", "journal mesh state here and recover it on boot (empty = memory only)")
 	fsync := flag.String("fsync", "always", "journal durability: always, none, or a flush interval like 100ms")
 	checkpointEvery := flag.Int("checkpoint-every", journal.DefaultCheckpointEvery, "compact each mesh journal after this many records")
+	tenantRate := flag.Float64("tenant-rate", 0, "per-tenant admission rate in req/s (0 = no tenant rate gate)")
+	tenantBurst := flag.Int("tenant-burst", 0, "per-tenant admission burst (0 = ceil of -tenant-rate)")
+	maxInflight := flag.Int("max-inflight", 0, "concurrent admitted requests across all tenants (0 = unlimited)")
+	admitQueue := flag.Int("admit-queue", 64, "requests that may wait for an inflight slot (with -max-inflight)")
+	admitWait := flag.Duration("admit-wait", time.Second, "longest a request waits for an inflight slot")
+	var fails failFlag
+	flag.Var(&fails, "fail", "arm a journal storage failpoint, op[:path=substr][:nth=N][:err=eio|enospc][:torn][:sticky] (repeatable; testing only)")
 	flag.Parse()
 
 	policy, every, err := journal.ParseFsync(*fsync)
 	if err != nil {
 		log.Fatalf("meshd: -fsync: %v", err)
+	}
+
+	jopts := journal.Options{
+		Fsync:           policy,
+		FsyncEvery:      every,
+		CheckpointEvery: *checkpointEvery,
+	}
+	if len(fails) > 0 {
+		inj := errfs.New(nil)
+		for _, fault := range fails {
+			inj.Arm(fault)
+			log.Printf("meshd: armed storage failpoint %v", fault)
+		}
+		jopts.FS = inj
 	}
 
 	srv := server.New(server.Config{
@@ -67,12 +126,19 @@ func main() {
 		MaxBatchPairs: *maxBatchPairs,
 		OracleBound:   *oracleBound,
 		DataDir:       *dataDir,
-		Journal: journal.Options{
-			Fsync:           policy,
-			FsyncEvery:      every,
-			CheckpointEvery: *checkpointEvery,
+		Journal:       jopts,
+		Admission: admission.Config{
+			TenantRate:  *tenantRate,
+			TenantBurst: *tenantBurst,
+			MaxInflight: *maxInflight,
+			MaxQueue:    *admitQueue,
+			MaxWait:     *admitWait,
 		},
 	})
+	if *tenantRate > 0 || *maxInflight > 0 {
+		log.Printf("meshd: admission control on (tenant rate %g req/s burst %d, max inflight %d, queue %d, wait %v)",
+			*tenantRate, *tenantBurst, *maxInflight, *admitQueue, *admitWait)
+	}
 	if *dataDir != "" {
 		n, err := srv.Recover()
 		if err != nil {

@@ -18,12 +18,27 @@
 // so state recovered from a meshd -data-dir can be load-tested against
 // the exact fault history of the original run.
 //
+// Overload behavior: 429 RESOURCE_EXHAUSTED responses are retried up to
+// -retries times with exponential backoff and jitter, never backing off
+// less than the server's Retry-After hint. -tenants spreads requests
+// over N synthetic tenant identities (X-Tenant: t0..tN-1) so per-tenant
+// admission control can be exercised; the summary tallies retries, total
+// backoff time, and 429s per tenant. A non-chaos run that still ends
+// with RESOURCE_EXHAUSTED outcomes after retrying exits non-zero — an
+// adequately provisioned server must absorb the offered load.
+//
+// -chaos is the fault-injection assertion mode (pair with meshd -fail):
+// STORAGE commit refusals and residual 429s are expected there, and the
+// run instead asserts the taxonomy NEVER leaks — every response decodes
+// to a documented wire code — while routes keep being delivered.
+//
 // Usage:
 //
 //	meshload -addr 127.0.0.1:8080 [-mesh load] [-n 32] [-faults 60] \
 //	         [-seed 1] [-requests 1000] [-duration 0] [-rate 0] \
 //	         [-workers 16] [-oracle] [-algo rb2] \
-//	         [-churn 0] [-churn-faults -1] [-journal dir] [-keep]
+//	         [-churn 0] [-churn-faults -1] [-journal dir] [-keep] \
+//	         [-tenants 0] [-retries 3] [-backoff 50ms] [-chaos]
 package main
 
 import (
@@ -36,6 +51,7 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -59,12 +75,23 @@ type routeRequest struct {
 }
 
 type wireError struct {
-	Code    string `json:"code"`
-	Message string `json:"message"`
+	Code              string  `json:"code"`
+	Message           string  `json:"message"`
+	RetryAfterSeconds float64 `json:"retry_after_seconds"`
 }
 
 type errorBody struct {
 	Error wireError `json:"error"`
+}
+
+// knownCodes is the documented wire taxonomy; anything else in a
+// response is a leak.
+var knownCodes = map[string]bool{
+	"OUTSIDE_MESH": true, "FAULTY_ENDPOINT": true, "UNREACHABLE": true,
+	"ABORTED": true, "CANCELED": true, "INVALID_FAULT_COUNT": true,
+	"NOT_ADJACENT": true, "WATCH_CLOSED": true, "RESOURCE_EXHAUSTED": true,
+	"BAD_REQUEST": true, "MESH_NOT_FOUND": true, "MESH_EXISTS": true,
+	"REGISTRY_FULL": true, "INTERNAL": true, "STORAGE": true,
 }
 
 // tally accumulates response outcomes across workers.
@@ -73,7 +100,10 @@ type tally struct {
 	byCode    map[string]int
 	latencies []time.Duration
 	ok        int
-	leaked    int // 5xx, transport errors, undecodable bodies
+	leaked    int // transport errors, undecodable bodies, off-taxonomy codes
+	retries   int // 429s retried after backoff
+	backoff   time.Duration
+	tenant429 map[string]int
 }
 
 func (t *tally) record(code string, latency time.Duration, ok, leak bool) {
@@ -88,6 +118,64 @@ func (t *tally) record(code string, latency time.Duration, ok, leak bool) {
 	if leak {
 		t.leaked++
 	}
+}
+
+// recordRetry tallies one backed-off 429 retry.
+func (t *tally) recordRetry(tenant string, wait time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.retries++
+	t.backoff += wait
+	t.tenant429[tenant]++
+}
+
+// record429 tallies a 429 that was NOT retried (budget exhausted or
+// retries disabled) — it lands in byCode via record; this only feeds the
+// per-tenant breakdown.
+func (t *tally) record429(tenant string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.tenant429[tenant]++
+}
+
+// classifyLeak decides whether a decoded non-2xx outcome is outside the
+// documented taxonomy. INTERNAL is always a leak (a served request must
+// never produce it); STORAGE is a leak unless the run injects storage
+// faults on purpose (-chaos).
+func classifyLeak(code string, chaos bool) bool {
+	switch {
+	case !knownCodes[code]:
+		return true
+	case code == "INTERNAL":
+		return true
+	case code == "STORAGE":
+		return !chaos
+	}
+	return false
+}
+
+// backoffFor computes the wait before retry #attempt (0-based) of a 429:
+// exponential from base with 0.5-1.5x jitter, floored at the server's
+// Retry-After hint.
+func backoffFor(base time.Duration, attempt int, hint time.Duration, rng *rand.Rand) time.Duration {
+	exp := base << min(attempt, 6)
+	wait := time.Duration(float64(exp) * (0.5 + rng.Float64()))
+	return max(wait, hint)
+}
+
+// retryHint extracts the server's backoff hint: the JSON field has
+// sub-second precision, the Retry-After header is the whole-second
+// fallback.
+func retryHint(eb errorBody, resp *http.Response) time.Duration {
+	if eb.Error.RetryAfterSeconds > 0 {
+		return time.Duration(eb.Error.RetryAfterSeconds * float64(time.Second))
+	}
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if secs, err := strconv.Atoi(s); err == nil && secs > 0 {
+			return time.Duration(secs) * time.Second
+		}
+	}
+	return 0
 }
 
 func main() {
@@ -106,6 +194,10 @@ func main() {
 	churnFaults := flag.Int("churn-faults", -1, "steady-state fault count under churn (-1 = same as -faults)")
 	journalDir := flag.String("journal", "", "replay this recorded journal dir (a meshd -data-dir mesh subdirectory) as the churn source")
 	keep := flag.Bool("keep", false, "keep the mesh registered after the run")
+	tenants := flag.Int("tenants", 0, "spread requests over N synthetic tenants via X-Tenant (0 = no header)")
+	retries := flag.Int("retries", 3, "retry a 429 this many times with backoff before recording it")
+	backoffBase := flag.Duration("backoff", 50*time.Millisecond, "exponential backoff base for 429 retries (jittered, floored at Retry-After)")
+	chaos := flag.Bool("chaos", false, "fault-injection mode: tolerate STORAGE/429 outcomes but assert the taxonomy never leaks")
 	flag.Parse()
 
 	base := *addr
@@ -168,15 +260,15 @@ func main() {
 		initial = []map[string]any{{"op": "inject_random", "count": *faults, "seed": *seed}}
 	}
 	if len(initial) > 0 {
-		status, body = post(client, base+"/v1/meshes/"+*meshName+"/faults",
-			map[string]any{"ops": initial})
+		status, body = postRetry429(client, base+"/v1/meshes/"+*meshName+"/faults",
+			map[string]any{"ops": initial}, *retries, *backoffBase, rand.New(rand.NewSource(*seed)), nil)
 		if status != http.StatusOK {
 			fail("seed faults: HTTP %d: %s", status, body)
 		}
 	}
 
 	routeURL := base + "/v1/meshes/" + *meshName + "/route"
-	t := &tally{byCode: make(map[string]int)}
+	t := &tally{byCode: make(map[string]int), tenant429: make(map[string]int)}
 	var sent atomic.Int64
 	var replayAttempted atomic.Int64
 
@@ -233,6 +325,7 @@ func main() {
 		go func() {
 			txns := 0
 			defer func() { churnDone <- txns }()
+			rng := rand.New(rand.NewSource(*seed * 31))
 			var tick <-chan time.Time
 			if *churn > 0 {
 				ticker := time.NewTicker(*churn)
@@ -265,9 +358,13 @@ func main() {
 					replayAttempted.Add(-1)
 					continue // an empty-delta commit has no wire form
 				}
-				status, body := post(client, base+"/v1/meshes/"+*meshName+"/faults",
-					map[string]any{"ops": ops})
+				status, body := postRetry429(client, base+"/v1/meshes/"+*meshName+"/faults",
+					map[string]any{"ops": ops}, *retries, *backoffBase, rng, stop)
 				if status != http.StatusOK {
+					if *chaos && strings.Contains(body, `"STORAGE"`) {
+						fmt.Fprintf(os.Stderr, "meshload: replay stopped: journal degraded (STORAGE) at v%d\n", rec.Version)
+						return
+					}
 					fmt.Fprintf(os.Stderr, "meshload: replay transaction v%d: HTTP %d: %s\n", rec.Version, status, body)
 					continue
 				}
@@ -318,9 +415,16 @@ func main() {
 				for _, c := range fresh {
 					ops = append(ops, map[string]any{"op": "add", "at": map[string]any{"x": c.X, "y": c.Y}})
 				}
-				status, body := post(client, base+"/v1/meshes/"+*meshName+"/faults",
-					map[string]any{"ops": ops})
+				status, body := postRetry429(client, base+"/v1/meshes/"+*meshName+"/faults",
+					map[string]any{"ops": ops}, *retries, *backoffBase, rng, stop)
 				if status != http.StatusOK {
+					// A degraded journal refuses every further commit — stop
+					// churning instead of spamming a warning per tick. In
+					// -chaos runs that is the expected mid-run event.
+					if strings.Contains(body, `"STORAGE"`) {
+						fmt.Fprintf(os.Stderr, "meshload: churn stopped: journal degraded (STORAGE) after %d transactions\n", txns)
+						return
+					}
 					// The transaction is atomic: nothing committed, so the
 					// outgoing rotation is still published. Keep prev.
 					fmt.Fprintf(os.Stderr, "meshload: churn transaction: HTTP %d: %s\n", status, body)
@@ -354,30 +458,57 @@ func main() {
 					Algorithm: *algo,
 					NoOracle:  !*oracle,
 				}
+				tenant := "default"
+				if *tenants > 0 {
+					tenant = fmt.Sprintf("t%d", rng.Intn(*tenants))
+				}
 				buf.Reset()
 				_ = json.NewEncoder(buf).Encode(req)
-				t0 := time.Now()
-				resp, err := client.Post(routeURL, "application/json", bytes.NewReader(buf.Bytes()))
-				lat := time.Since(t0)
-				sent.Add(1)
-				if err != nil {
-					t.record("TRANSPORT", lat, false, true)
-					continue
-				}
-				body, _ := io.ReadAll(resp.Body)
-				resp.Body.Close()
-				switch {
-				case resp.StatusCode == http.StatusOK:
-					t.record("", lat, true, false)
-				case resp.StatusCode >= 500:
-					t.record(fmt.Sprintf("HTTP_%d", resp.StatusCode), lat, false, true)
-				default:
+				payload := append([]byte(nil), buf.Bytes()...)
+				// One logical request: a 429 is retried with backoff (floored
+				// at the server's Retry-After hint) up to -retries times; the
+				// final attempt's outcome and latency are what get recorded.
+				for attempt := 0; ; attempt++ {
+					hreq, _ := http.NewRequest(http.MethodPost, routeURL, bytes.NewReader(payload))
+					hreq.Header.Set("Content-Type", "application/json")
+					if *tenants > 0 {
+						hreq.Header.Set("X-Tenant", tenant)
+					}
+					t0 := time.Now()
+					resp, err := client.Do(hreq)
+					lat := time.Since(t0)
+					sent.Add(1)
+					if err != nil {
+						t.record("TRANSPORT", lat, false, true)
+						break
+					}
+					body, _ := io.ReadAll(resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode == http.StatusOK {
+						t.record("", lat, true, false)
+						break
+					}
 					var eb errorBody
 					if json.Unmarshal(body, &eb) != nil || eb.Error.Code == "" {
 						t.record(fmt.Sprintf("UNDECODABLE_%d", resp.StatusCode), lat, false, true)
-					} else {
-						t.record(eb.Error.Code, lat, false, false)
+						break
 					}
+					code := eb.Error.Code
+					if code == "RESOURCE_EXHAUSTED" && attempt < *retries {
+						wait := backoffFor(*backoffBase, attempt, retryHint(eb, resp), rng)
+						t.recordRetry(tenant, wait)
+						select {
+						case <-stop:
+							return
+						case <-time.After(wait):
+						}
+						continue
+					}
+					if code == "RESOURCE_EXHAUSTED" {
+						t.record429(tenant)
+					}
+					t.record(code, lat, false, classifyLeak(code, *chaos))
+					break
 				}
 			}
 		}(w)
@@ -439,8 +570,27 @@ func main() {
 		fmt.Printf(", %d %s", t.byCode[code], code)
 	}
 	fmt.Printf("; %d fault transactions mid-run\n", txns)
+	if t.retries > 0 || len(t.tenant429) > 0 {
+		fmt.Printf("overload: %d retried 429s, %v total backoff", t.retries, t.backoff.Round(time.Millisecond))
+		names := make([]string, 0, len(t.tenant429))
+		for name := range t.tenant429 {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for i, name := range names {
+			if i == 0 {
+				fmt.Printf("; 429s by tenant:")
+			}
+			fmt.Printf(" %s=%d", name, t.tenant429[name])
+		}
+		fmt.Printf("\n")
+	}
 	if t.leaked > 0 {
-		fmt.Fprintf(os.Stderr, "meshload: FAIL: %d responses outside the documented taxonomy (5xx/transport/undecodable)\n", t.leaked)
+		fmt.Fprintf(os.Stderr, "meshload: FAIL: %d responses outside the documented taxonomy (transport/undecodable/off-taxonomy codes)\n", t.leaked)
+		os.Exit(1)
+	}
+	if n := t.byCode["RESOURCE_EXHAUSTED"]; n > 0 && !*chaos {
+		fmt.Fprintf(os.Stderr, "meshload: FAIL: %d requests still RESOURCE_EXHAUSTED after %d retries (server under-provisioned for this load; use -chaos if overload is the point)\n", n, *retries)
 		os.Exit(1)
 	}
 	if t.ok == 0 {
@@ -479,6 +629,30 @@ func getFaults(client *http.Client, url string) ([]coord, error) {
 		return nil, fmt.Errorf("decode fault list: %v", err)
 	}
 	return list.Faults, nil
+}
+
+// postRetry429 posts v, retrying 429 responses with jittered exponential
+// backoff (floored at the body's retry_after_seconds hint) up to retries
+// times; any other status returns immediately. stop (may be nil) aborts
+// a pending backoff.
+func postRetry429(client *http.Client, url string, v any, retries int, base time.Duration, rng *rand.Rand, stop <-chan struct{}) (int, string) {
+	for attempt := 0; ; attempt++ {
+		status, body := post(client, url, v)
+		if status != http.StatusTooManyRequests || attempt >= retries {
+			return status, body
+		}
+		var eb errorBody
+		var hint time.Duration
+		if json.Unmarshal([]byte(body), &eb) == nil {
+			hint = time.Duration(eb.Error.RetryAfterSeconds * float64(time.Second))
+		}
+		wait := backoffFor(base, attempt, hint, rng)
+		select {
+		case <-stop:
+			return status, body
+		case <-time.After(wait):
+		}
+	}
 }
 
 // post sends one JSON POST and returns the status and body.

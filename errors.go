@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/admission"
 	"repro/internal/engine"
 	"repro/internal/fault"
 )
@@ -46,6 +47,13 @@ var (
 	// ErrNotAdjacent reports an AddLinkFault whose endpoints are not mesh
 	// neighbors.
 	ErrNotAdjacent = fault.ErrNotAdjacent
+	// ErrResourceExhausted reports a request refused by admission control
+	// (tenant rate limit or server concurrency limit) rather than by its
+	// content — retry later, backing off at least the server's hint.
+	// Shared with internal/admission, whose *Rejection carries the tenant,
+	// the refusing gate, and the computed retry-after; match the detail
+	// with errors.As.
+	ErrResourceExhausted = admission.ErrExhausted
 )
 
 // ErrAborted is the structured error for a walk that stopped without
@@ -109,6 +117,10 @@ const (
 	// CodeWatchClosed identifies ErrWatchClosed: the watch stream was
 	// explicitly closed and will deliver no further events.
 	CodeWatchClosed = "WATCH_CLOSED"
+	// CodeResourceExhausted identifies ErrResourceExhausted: the server
+	// refused admission under load. Its wire form carries a retry-after
+	// hint (HTTP surfaces it as a 429 with a Retry-After header too).
+	CodeResourceExhausted = "RESOURCE_EXHAUSTED"
 )
 
 // ErrorCode returns the stable wire code for an error from the v1
@@ -138,6 +150,8 @@ func ErrorCode(err error) string {
 		return CodeNotAdjacent
 	case errors.Is(err, ErrWatchClosed):
 		return CodeWatchClosed
+	case errors.Is(err, ErrResourceExhausted):
+		return CodeResourceExhausted
 	case errors.As(err, &abort):
 		return CodeAborted
 	}

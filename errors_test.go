@@ -3,6 +3,7 @@ package meshroute
 import (
 	"context"
 	"errors"
+	"fmt"
 	"testing"
 	"time"
 )
@@ -276,6 +277,7 @@ func TestErrorCode(t *testing.T) {
 		}(), CodeCanceled},
 		{"invalid fault count", net.InjectRandom(-1, 1), CodeInvalidFaultCount},
 		{"not adjacent", net.AddLinkFault(C(0, 0), C(3, 3)), CodeNotAdjacent},
+		{"resource exhausted", fmt.Errorf("serve: %w", ErrResourceExhausted), CodeResourceExhausted},
 		{"watch closed", func() error {
 			w := net.Watch(ctx)
 			w.Close()

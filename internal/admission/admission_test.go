@@ -1,0 +1,259 @@
+package admission
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// clock is a manual test clock.
+type clock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newClock() *clock { return &clock{now: time.Unix(1000, 0)} }
+
+func (c *clock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *clock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func TestDisabledConfigAdmitsEverything(t *testing.T) {
+	c := New(Config{})
+	for i := 0; i < 100; i++ {
+		release, err := c.Admit(context.Background(), "anyone")
+		if err != nil {
+			t.Fatalf("disabled controller rejected: %v", err)
+		}
+		defer release()
+	}
+	if s := c.Stats(); s.Admitted != 100 || s.Rejected != 0 {
+		t.Fatalf("stats = %+v, want 100 admitted, 0 rejected", s)
+	}
+}
+
+// TestTenantRateLimit locks the token-bucket contract: burst admits,
+// then rejection with a retry hint, then refill over time re-admits —
+// and tenants are isolated from each other.
+func TestTenantRateLimit(t *testing.T) {
+	clk := newClock()
+	c := New(Config{TenantRate: 2, TenantBurst: 3, now: clk.Now})
+	ctx := context.Background()
+
+	for i := 0; i < 3; i++ {
+		release, err := c.Admit(ctx, "alice")
+		if err != nil {
+			t.Fatalf("burst admit %d: %v", i+1, err)
+		}
+		release()
+	}
+	_, err := c.Admit(ctx, "alice")
+	if !errors.Is(err, ErrExhausted) {
+		t.Fatalf("over-rate admit = %v, want ErrExhausted", err)
+	}
+	var rej *Rejection
+	if !errors.As(err, &rej) {
+		t.Fatalf("rejection is not a *Rejection: %v", err)
+	}
+	if rej.Tenant != "alice" || rej.Reason != ReasonRate {
+		t.Fatalf("rejection = %+v", rej)
+	}
+	// Empty bucket at 2 tokens/sec: one token is 500ms away.
+	if rej.RetryAfter <= 0 || rej.RetryAfter > 500*time.Millisecond {
+		t.Fatalf("RetryAfter = %v, want in (0, 500ms]", rej.RetryAfter)
+	}
+
+	// An unrelated tenant still has its own burst.
+	if _, err := c.Admit(ctx, "bob"); err != nil {
+		t.Fatalf("tenant isolation broken: %v", err)
+	}
+
+	// Refill: after the hinted wait, alice gets exactly one token.
+	clk.Advance(rej.RetryAfter)
+	release, err := c.Admit(ctx, "alice")
+	if err != nil {
+		t.Fatalf("admit after refill: %v", err)
+	}
+	release()
+	if _, err := c.Admit(ctx, "alice"); !errors.Is(err, ErrExhausted) {
+		t.Fatalf("second post-refill admit = %v, want ErrExhausted", err)
+	}
+
+	s := c.Stats()
+	if ts := s.Tenants["alice"]; ts.Admitted != 4 || ts.Rejected != 2 {
+		t.Fatalf("alice stats = %+v, want 4 admitted, 2 rejected", ts)
+	}
+	if s.Admitted != 5 || s.Rejected != 2 {
+		t.Fatalf("global stats = %+v", s)
+	}
+}
+
+// TestConcurrencyLimitAndQueue locks the slot-transfer contract: with
+// slots full a request queues; a release hands the slot to the oldest
+// waiter; beyond the queue bound requests bounce immediately.
+func TestConcurrencyLimitAndQueue(t *testing.T) {
+	c := New(Config{MaxInflight: 2, MaxQueue: 1, MaxWait: 5 * time.Second})
+	ctx := context.Background()
+
+	r1, err := c.Admit(ctx, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := c.Admit(ctx, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Third request queues.
+	admitted := make(chan func(), 1)
+	go func() {
+		r, err := c.Admit(ctx, "")
+		if err != nil {
+			t.Errorf("queued admit: %v", err)
+		}
+		admitted <- r
+	}()
+	waitFor(t, func() bool { return c.Stats().Queued == 1 })
+
+	// Fourth finds the queue full: immediate rejection.
+	_, err = c.Admit(ctx, "")
+	var rej *Rejection
+	if !errors.As(err, &rej) || rej.Reason != ReasonQueueFull {
+		t.Fatalf("queue-full admit = %v, want ReasonQueueFull", err)
+	}
+
+	// Releasing a slot admits the waiter; inflight stays at the cap.
+	r1()
+	r3 := <-admitted
+	if s := c.Stats(); s.Inflight != 2 || s.Queued != 0 {
+		t.Fatalf("after transfer: %+v, want inflight 2, queued 0", s)
+	}
+	r2()
+	r3()
+	if s := c.Stats(); s.Inflight != 0 {
+		t.Fatalf("after all releases: inflight = %d, want 0", s.Inflight)
+	}
+}
+
+// TestQueueWaitTimeout: a waiter no slot reaches within MaxWait is
+// rejected with the timeout reason.
+func TestQueueWaitTimeout(t *testing.T) {
+	c := New(Config{MaxInflight: 1, MaxQueue: 4, MaxWait: 20 * time.Millisecond})
+	release, err := c.Admit(context.Background(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+
+	_, err = c.Admit(context.Background(), "slow")
+	var rej *Rejection
+	if !errors.As(err, &rej) || rej.Reason != ReasonWaitTimeout {
+		t.Fatalf("starved waiter = %v, want ReasonWaitTimeout", err)
+	}
+	if s := c.Stats(); s.Queued != 0 {
+		t.Fatalf("timed-out waiter still queued: %+v", s)
+	}
+}
+
+// TestQueueContextCancel: a context ending while queued surfaces the
+// context cause (CANCELED territory), not a Rejection.
+func TestQueueContextCancel(t *testing.T) {
+	c := New(Config{MaxInflight: 1, MaxQueue: 4, MaxWait: time.Minute})
+	release, err := c.Admit(context.Background(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Admit(ctx, "impatient")
+		done <- err
+	}()
+	waitFor(t, func() bool { return c.Stats().Queued == 1 })
+	cancel()
+	err = <-done
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled waiter = %v, want context.Canceled", err)
+	}
+	if errors.Is(err, ErrExhausted) {
+		t.Fatalf("cancellation misclassified as exhaustion: %v", err)
+	}
+	if s := c.Stats(); s.Queued != 0 {
+		t.Fatalf("canceled waiter still queued: %+v", s)
+	}
+}
+
+// TestTenantEviction: the tenant table stays bounded, evicting the
+// least-recently-seen bucket, and global totals keep evicted history.
+func TestTenantEviction(t *testing.T) {
+	clk := newClock()
+	c := New(Config{TenantRate: 100, TenantBurst: 100, MaxTenants: 2, now: clk.Now})
+	ctx := context.Background()
+
+	for _, tenant := range []string{"t1", "t2", "t3"} {
+		clk.Advance(time.Millisecond)
+		if _, err := c.Admit(ctx, tenant); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := c.Stats()
+	if len(s.Tenants) != 2 {
+		t.Fatalf("tenant table = %v, want 2 entries", s.Tenants)
+	}
+	if _, ok := s.Tenants["t1"]; ok {
+		t.Fatalf("t1 should have been evicted first: %v", s.Tenants)
+	}
+	if s.Admitted != 3 {
+		t.Fatalf("global admitted = %d, want 3 (evicted history kept)", s.Admitted)
+	}
+}
+
+// TestConcurrentChurn hammers Admit/release from many goroutines; run
+// under -race this is the data-race canary, and the final gauges must
+// settle to zero.
+func TestConcurrentChurn(t *testing.T) {
+	c := New(Config{TenantRate: 1e9, MaxInflight: 4, MaxQueue: 8, MaxWait: time.Second})
+	tenants := []string{"a", "b", "c"}
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				release, err := c.Admit(context.Background(), tenants[(i+j)%len(tenants)])
+				if err != nil {
+					continue
+				}
+				release()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if s := c.Stats(); s.Inflight != 0 || s.Queued != 0 {
+		t.Fatalf("gauges did not settle: %+v", s)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition never held")
+}

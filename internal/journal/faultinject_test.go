@@ -1,0 +1,161 @@
+package journal
+
+import (
+	"errors"
+	"path/filepath"
+	"reflect"
+	"syscall"
+	"testing"
+
+	"repro/internal/errfs"
+	"repro/internal/mesh"
+)
+
+// TestAppendFaultInjection is the chaos table for the journal's
+// degradation ladder: a disk failure mid-append (EIO, ENOSPC, a failed
+// fsync, a torn write, a failed checkpoint rename) must (1) surface on
+// the failing Append, (2) latch as the sticky error so every later
+// append is refused without touching the disk, and (3) leave a directory
+// a clean restart recovers deterministically — the durable record prefix
+// replays byte-identically and the journal accepts appends again.
+//
+// wantVersion is the version recovery must land on. It is the last
+// ACKNOWLEDGED version except where the failure struck after the bytes
+// durably landed (fsync failure: the write is in the WAL; checkpoint
+// rename failure: the append that triggered compaction already synced) —
+// an unacknowledged-but-durable record is a legal prefix extension, and
+// the serving layer's version check (journal.Version vs commit version)
+// is what refuses to ACK such commits.
+func TestAppendFaultInjection(t *testing.T) {
+	const appends = 4 // versions 2..5 attempted
+	for _, tc := range []struct {
+		name        string
+		fault       errfs.Fault
+		opts        Options
+		wantErrno   error
+		wantVersion uint64 // version a clean reopen recovers
+	}{
+		{
+			name:        "EIO mid-append",
+			fault:       errfs.Fault{Op: errfs.OpWrite, Path: walFile, Nth: 3},
+			wantErrno:   syscall.EIO,
+			wantVersion: 3, // writes 1,2 landed; write 3 (v4) left no bytes
+		},
+		{
+			name:        "torn write mid-append",
+			fault:       errfs.Fault{Op: errfs.OpWrite, Path: walFile, Nth: 3, Torn: true},
+			wantErrno:   syscall.EIO,
+			wantVersion: 3, // v4's half-frame is a torn tail recovery discards
+		},
+		{
+			name:        "fsync failure",
+			fault:       errfs.Fault{Op: errfs.OpSync, Path: walFile, Nth: 3},
+			wantErrno:   syscall.EIO,
+			wantVersion: 4, // v4's bytes hit the WAL before its fsync failed
+		},
+		{
+			name:        "ENOSPC on checkpoint rename",
+			fault:       errfs.Fault{Op: errfs.OpRename, Path: checkpointFile, Nth: 2, Err: errfs.ErrInjectedNoSpc},
+			opts:        Options{CheckpointEvery: 3},
+			wantErrno:   syscall.ENOSPC,
+			wantVersion: 4, // v4 synced to the WAL; only its compaction failed
+			// nth=2: Create publishes the initial checkpoint via rename first.
+		},
+		{
+			name:        "ENOSPC writing checkpoint tmp",
+			fault:       errfs.Fault{Op: errfs.OpWrite, Path: checkpointFile + ".tmp", Nth: 2, Err: errfs.ErrInjectedNoSpc},
+			opts:        Options{CheckpointEvery: 3},
+			wantErrno:   syscall.ENOSPC,
+			wantVersion: 4, // nth=2: Create writes the initial checkpoint tmp first
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := filepath.Join(t.TempDir(), "j")
+			inj := errfs.New(nil)
+			inj.Arm(tc.fault)
+			opts := tc.opts
+			opts.FS = inj
+
+			j, err := Create(dir, 10, 10, opts)
+			if err != nil {
+				t.Fatalf("Create: %v", err)
+			}
+
+			// Append until the armed fault fires: version v adds (v, 0).
+			var failedAt uint64
+			for v := uint64(2); v < 2+appends; v++ {
+				err := j.Append(v, []mesh.Coord{mesh.C(int(v), 0)}, nil)
+				if err == nil {
+					continue
+				}
+				if !errors.Is(err, tc.wantErrno) {
+					t.Fatalf("Append(v%d) = %v, want %v", v, err, tc.wantErrno)
+				}
+				failedAt = v
+				break
+			}
+			if failedAt == 0 {
+				t.Fatalf("fault %v never fired in %d appends", tc.fault, appends)
+			}
+
+			// Sticky: the latched error refuses every later append (the
+			// injected fault is one-shot, so a retry reaching the disk
+			// would succeed — the refusal is the journal's own).
+			if err := j.Err(); !errors.Is(err, tc.wantErrno) {
+				t.Fatalf("Err() = %v, want sticky %v", err, tc.wantErrno)
+			}
+			if err := j.Append(failedAt+1, []mesh.Coord{mesh.C(9, 9)}, nil); !errors.Is(err, tc.wantErrno) {
+				t.Fatalf("append after failure = %v, want sticky %v", err, tc.wantErrno)
+			}
+			if st := j.Stats(); st.Errors < 2 {
+				t.Fatalf("Stats().Errors = %d, want >= 2 (failure + refused retry)", st.Errors)
+			}
+			if err := j.Close(); err != nil {
+				t.Logf("Close on sick journal: %v", err)
+			}
+
+			// Clean restart: recovery replays the durable prefix exactly.
+			j2, st, err := Open(dir, Options{})
+			if err != nil {
+				t.Fatalf("reopen after %s: %v", tc.name, err)
+			}
+			defer j2.Close()
+			wantFaults := []mesh.Coord{}
+			for v := uint64(2); v <= tc.wantVersion; v++ {
+				wantFaults = append(wantFaults, mesh.C(int(v), 0))
+			}
+			want := &State{Width: 10, Height: 10, Version: tc.wantVersion, Faults: wantFaults}
+			if !reflect.DeepEqual(st, want) {
+				t.Fatalf("recovered state = %+v, want %+v", st, want)
+			}
+			// And the healthy journal accepts the history's next version.
+			if err := j2.Append(tc.wantVersion+1, []mesh.Coord{mesh.C(8, 8)}, nil); err != nil {
+				t.Fatalf("append after clean reopen: %v", err)
+			}
+			st2, _, err := Read(dir)
+			if err != nil {
+				t.Fatalf("Read after post-recovery append: %v", err)
+			}
+			if st2.Version != tc.wantVersion+1 {
+				t.Fatalf("post-recovery append not durable: version %d, want %d", st2.Version, tc.wantVersion+1)
+			}
+		})
+	}
+}
+
+// TestCreateFaultInjection: a Create that cannot even initialize its
+// directory fails cleanly and withdraws the husk, so a later Create of
+// the same path succeeds.
+func TestCreateFaultInjection(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "j")
+	inj := errfs.New(nil)
+	inj.Arm(errfs.Fault{Op: errfs.OpSync, Path: checkpointFile + ".tmp", Err: errfs.ErrInjectedNoSpc})
+	if _, err := Create(dir, 4, 4, Options{FS: inj}); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("Create with failing checkpoint fsync = %v, want ENOSPC", err)
+	}
+	j, err := Create(dir, 4, 4, Options{FS: inj})
+	if err != nil {
+		t.Fatalf("Create after withdrawn failure: %v", err)
+	}
+	j.Close()
+}

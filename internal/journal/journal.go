@@ -49,6 +49,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/errfs"
 	"repro/internal/fault"
 	"repro/internal/mesh"
 )
@@ -115,6 +116,11 @@ type Options struct {
 	// CheckpointEvery compacts the WAL after this many records
 	// (<= 0 means DefaultCheckpointEvery).
 	CheckpointEvery int
+	// FS overrides the filesystem the journal's write paths touch (nil
+	// means the real OS filesystem). Fault-injection harnesses
+	// (internal/errfs, meshd -fail) use it to make the Nth open, write,
+	// fsync, or rename fail and prove the degradation ladder holds.
+	FS errfs.FS
 }
 
 // DefaultCheckpointEvery is the compaction interval when
@@ -127,6 +133,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.CheckpointEvery <= 0 {
 		o.CheckpointEvery = DefaultCheckpointEvery
+	}
+	if o.FS == nil {
+		o.FS = errfs.OS
 	}
 	return o
 }
@@ -182,7 +191,7 @@ type Journal struct {
 
 	mu sync.Mutex
 	//meshlint:guardedby mu
-	wal *os.File
+	wal errfs.File
 	// state is the materialized fault set, for cutting checkpoints.
 	//meshlint:guardedby mu
 	state *fault.Set
@@ -232,10 +241,11 @@ func Create(dir string, w, h int, opts Options) (*Journal, error) {
 	if w < 1 || h < 1 {
 		return nil, fmt.Errorf("journal: invalid dimensions %dx%d", w, h)
 	}
-	if err := os.Mkdir(dir, 0o755); err != nil {
+	o := opts.withDefaults()
+	if err := o.FS.Mkdir(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("journal: create %s: %w", dir, err)
 	}
-	j := &Journal{dir: dir, opts: opts.withDefaults(), state: fault.NewSet(mesh.New(w, h)), version: 1}
+	j := &Journal{dir: dir, opts: o, state: fault.NewSet(mesh.New(w, h)), version: 1}
 	if err := j.writeCheckpointFile(checkpoint{Width: w, Height: h, Version: 1}); err != nil {
 		_ = os.RemoveAll(dir) // withdraw the half-created dir: nothing acknowledged yet
 		return nil, err
@@ -269,13 +279,14 @@ func Abandoned(dir string) bool {
 //
 //meshlint:locked mu
 func Open(dir string, opts Options) (*Journal, *State, error) {
-	_, st, recs, valid, err := read(dir)
+	o := opts.withDefaults()
+	_, st, recs, valid, err := read(o.FS, dir)
 	if err != nil {
 		return nil, nil, err
 	}
 	j := &Journal{
 		dir:     dir,
-		opts:    opts.withDefaults(),
+		opts:    o,
 		state:   fault.NewSet(mesh.New(st.Width, st.Height)),
 		version: st.Version,
 		recent:  recs,
@@ -296,7 +307,7 @@ func Open(dir string, opts Options) (*Journal, *State, error) {
 // on a directory another process (or a live Journal) is appending to —
 // it sees some durable prefix.
 func Read(dir string) (*State, []Record, error) {
-	_, st, recs, _, err := read(dir)
+	_, st, recs, _, err := read(errfs.OS, dir)
 	return st, recs, err
 }
 
@@ -305,7 +316,7 @@ func Read(dir string) (*State, []Record, error) {
 // order reproduces Read's final state transaction by transaction — the
 // form replay tooling (meshload -journal) wants.
 func ReadBase(dir string) (*State, []Record, error) {
-	base, _, recs, _, err := read(dir)
+	base, _, recs, _, err := read(errfs.OS, dir)
 	return base, recs, err
 }
 
@@ -316,10 +327,10 @@ func ReadBase(dir string) (*State, []Record, error) {
 // checkpoint+1. That is a race, not corruption: retry with a fresh
 // checkpoint (the documented some-durable-prefix guarantee for readers
 // of a live directory).
-func read(dir string) (*State, *State, []Record, int64, error) {
+func read(fsys errfs.FS, dir string) (*State, *State, []Record, int64, error) {
 	var lastErr error
 	for attempt := 0; attempt < 3; attempt++ {
-		base, st, recs, valid, raced, err := readOnce(dir)
+		base, st, recs, valid, raced, err := readOnce(fsys, dir)
 		if err == nil {
 			return base, st, recs, valid, nil
 		}
@@ -333,8 +344,8 @@ func read(dir string) (*State, *State, []Record, int64, error) {
 
 // readOnce performs one checkpoint+WAL read; raced flags the
 // stale-checkpoint signature above.
-func readOnce(dir string) (*State, *State, []Record, int64, bool, error) {
-	cpBytes, err := os.ReadFile(filepath.Join(dir, checkpointFile))
+func readOnce(fsys errfs.FS, dir string) (*State, *State, []Record, int64, bool, error) {
+	cpBytes, err := fsys.ReadFile(filepath.Join(dir, checkpointFile))
 	if err != nil {
 		return nil, nil, nil, 0, false, fmt.Errorf("journal: read checkpoint: %w", err)
 	}
@@ -364,7 +375,7 @@ func readOnce(dir string) (*State, *State, []Record, int64, bool, error) {
 		Faults:  state.Coords(),
 	}
 
-	walBytes, err := os.ReadFile(filepath.Join(dir, walFile))
+	walBytes, err := fsys.ReadFile(filepath.Join(dir, walFile))
 	if err != nil && !os.IsNotExist(err) {
 		return nil, nil, nil, 0, false, fmt.Errorf("journal: read wal: %w", err)
 	}
@@ -417,7 +428,7 @@ func readOnce(dir string) (*State, *State, []Record, int64, bool, error) {
 //
 //meshlint:locked mu
 func (j *Journal) openWAL(valid int64) error {
-	f, err := os.OpenFile(filepath.Join(j.dir, walFile), os.O_CREATE|os.O_RDWR, 0o644)
+	f, err := j.opts.FS.OpenFile(filepath.Join(j.dir, walFile), os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return fmt.Errorf("journal: open wal: %w", err)
 	}
@@ -569,7 +580,7 @@ func (j *Journal) writeCheckpointFile(cp checkpoint) error {
 		return fmt.Errorf("journal: encode checkpoint: %w", err)
 	}
 	tmp := filepath.Join(j.dir, checkpointFile+".tmp")
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	f, err := j.opts.FS.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
 		return fmt.Errorf("journal: checkpoint tmp: %w", err)
 	}
@@ -584,10 +595,10 @@ func (j *Journal) writeCheckpointFile(cp checkpoint) error {
 	if err := f.Close(); err != nil {
 		return fmt.Errorf("journal: close checkpoint: %w", err)
 	}
-	if err := os.Rename(tmp, filepath.Join(j.dir, checkpointFile)); err != nil {
+	if err := j.opts.FS.Rename(tmp, filepath.Join(j.dir, checkpointFile)); err != nil {
 		return fmt.Errorf("journal: publish checkpoint: %w", err)
 	}
-	if d, err := os.Open(j.dir); err == nil {
+	if d, err := j.opts.FS.Open(j.dir); err == nil {
 		_ = d.Sync() // best effort; not all filesystems support dir fsync
 		d.Close()
 	}

@@ -1,7 +1,10 @@
 // Package api is the wirecode fixture's error taxonomy: Err* sentinels,
 // Code* wire constants, and the ErrorCode classifier. ErrGood/CodeGood
 // are fully wired (classifier case, golden-test entry, status mapping in
-// wire/server); ErrLost and CodeDead each miss a layer.
+// wire/server); ErrLost and CodeDead each miss a layer; CodeExhausted is
+// classified and tested but wire/server forgot its HTTP status — the
+// regression shipping a new overload code without a statusForCode case
+// would be.
 package api
 
 import "errors"
@@ -11,6 +14,10 @@ var (
 	ErrGood = errors.New("good")
 	// ErrLost was added without completing the taxonomy.
 	ErrLost = errors.New("lost") /* want "sentinel ErrLost has no case in ErrorCode" want "sentinel ErrLost has no golden-test entry" */
+	// ErrExhausted mirrors an overload sentinel surfaced from a
+	// subsystem: the sentinel itself is fully wired (classifier case,
+	// golden-test entry), so any finding belongs to its code alone.
+	ErrExhausted = errors.New("exhausted")
 )
 
 const (
@@ -18,12 +25,18 @@ const (
 	CodeGood = "GOOD"
 	// CodeDead is never returned and never tested.
 	CodeDead = "DEAD" /* want "wire code CodeDead is dead" want "wire code CodeDead has no golden-test entry" */
+	// CodeExhausted misses only the status mapping: new codes must ride
+	// a deliberate status (429), never the 500 fallback.
+	CodeExhausted = "EXHAUSTED" /* want "wire code CodeExhausted has no case in wire/server.statusForCode" */
 )
 
 // ErrorCode maps taxonomy errors to their stable wire codes.
 func ErrorCode(err error) string {
 	if errors.Is(err, ErrGood) {
 		return CodeGood
+	}
+	if errors.Is(err, ErrExhausted) {
+		return CodeExhausted
 	}
 	return ""
 }

@@ -2,10 +2,14 @@ package api
 
 import "testing"
 
-// TestErrorCode is the golden table: ErrGood and CodeGood appear here,
-// ErrLost and CodeDead deliberately do not.
+// TestErrorCode is the golden table: ErrGood/CodeGood and
+// ErrExhausted/CodeExhausted appear here, ErrLost and CodeDead
+// deliberately do not.
 func TestErrorCode(t *testing.T) {
 	if ErrorCode(ErrGood) != CodeGood {
 		t.Fatal("mapping broke")
+	}
+	if ErrorCode(ErrExhausted) != CodeExhausted {
+		t.Fatal("exhausted mapping broke")
 	}
 }

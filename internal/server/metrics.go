@@ -5,6 +5,7 @@ import (
 	"time"
 
 	meshroute "repro"
+	"repro/internal/admission"
 	"repro/internal/engine"
 	"repro/internal/routing"
 )
@@ -42,6 +43,7 @@ var errorCodes = []string{
 	meshroute.CodeUnreachable, meshroute.CodeAborted,
 	meshroute.CodeCanceled, meshroute.CodeInvalidFaultCount,
 	meshroute.CodeNotAdjacent, meshroute.CodeWatchClosed,
+	meshroute.CodeResourceExhausted,
 }
 
 func newCollector() *collector {
@@ -157,6 +159,10 @@ type JournalVarz struct {
 type Varz struct {
 	UptimeSeconds float64              `json:"uptime_seconds"`
 	Meshes        map[string]*MeshVarz `json:"meshes"`
+	// Admission carries the overload-protection gauges (global inflight/
+	// queued plus per-tenant admitted/rejected/queued); nil when admission
+	// control is disabled.
+	Admission *admission.Stats `json:"admission,omitempty"`
 }
 
 // varz renders the collector against the mesh's cumulative rebuild

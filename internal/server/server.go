@@ -57,16 +57,19 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"os"
 	"path/filepath"
 	"regexp"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	meshroute "repro"
+	"repro/internal/admission"
 	"repro/internal/engine"
 	"repro/internal/journal"
 )
@@ -106,6 +109,10 @@ type Config struct {
 	// WatchHeartbeat is the idle keep-alive interval of /watch streams
 	// (<= 0 means DefaultWatchHeartbeat).
 	WatchHeartbeat time.Duration
+	// Admission configures overload protection (per-tenant rate limits
+	// and the global concurrency gate) for the compute-bearing POST
+	// endpoints (route, batch, faults). The zero value admits everything.
+	Admission admission.Config
 }
 
 // The Config defaults.
@@ -145,6 +152,10 @@ type Server struct {
 	base     context.Context // canceled (with cause) by Drain
 	cancel   context.CancelCauseFunc
 
+	// admission gates the POST endpoints; nil when Config.Admission is
+	// disabled (the zero value).
+	admission *admission.Controller
+
 	mu sync.RWMutex
 	// meshes is the registry of live meshes.
 	//meshlint:guardedby mu
@@ -179,6 +190,9 @@ func New(cfg Config) *Server {
 		cancel:   cancel,
 		meshes:   make(map[string]*meshEntry),
 		creating: make(map[string]struct{}),
+	}
+	if cfg.Admission.Enabled() {
+		s.admission = admission.New(cfg.Admission)
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -314,6 +328,38 @@ func (s *Server) requestContext(r *http.Request) (context.Context, context.Cance
 	return ctx, func() { stop(); cancel(nil) }
 }
 
+// admit runs the request through admission control (tenant identity from
+// the X-Tenant header). On admission the returned release func MUST be
+// called when the request's work — including any response streaming —
+// finishes. On refusal the 429 (or 499, if the request's context ended
+// while it was queued) has already been written. Only the compute-
+// bearing POSTs pass through here: GETs are cheap, and /watch streams
+// are long-lived subscriptions that would pin inflight slots forever.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request, e *meshEntry) (release func(), ok bool) {
+	if s.admission == nil {
+		return func() {}, true
+	}
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	release, err := s.admission.Admit(ctx, r.Header.Get("X-Tenant"))
+	if err == nil {
+		return release, true
+	}
+	var rej *admission.Rejection
+	if errors.As(err, &rej) {
+		writeError(w, e, WireError{
+			Code:              meshroute.CodeResourceExhausted,
+			Message:           err.Error(),
+			RetryAfterSeconds: rej.RetryAfter.Seconds(),
+		})
+	} else {
+		// The request's context ended while it was queued: that is a
+		// cancellation, not exhaustion.
+		writeError(w, e, wireError(fmt.Errorf("meshroute: %w: %w", meshroute.ErrCanceled, err)))
+	}
+	return nil, false
+}
+
 // lookup resolves a {name} path value to its entry.
 func (s *Server) lookup(name string) (*meshEntry, bool) {
 	s.mu.RLock()
@@ -333,9 +379,15 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 // writeError writes the JSON error body for we, counting it against the
 // mesh's tally when one is in scope (e may be nil for registry errors).
+// A retry-after hint additionally becomes a Retry-After header (integer
+// seconds, rounded up — the header cannot say "0").
 func writeError(w http.ResponseWriter, e *meshEntry, we WireError) {
 	if e != nil {
 		e.metrics.countError(we.Code)
+	}
+	if we.RetryAfterSeconds > 0 {
+		secs := int(math.Ceil(we.RetryAfterSeconds))
+		w.Header().Set("Retry-After", strconv.Itoa(max(1, secs)))
 	}
 	writeJSON(w, statusForCode(we.Code), errorBody{Error: we})
 }
@@ -359,12 +411,67 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any) (WireError, bool)
 	return WireError{}, true
 }
 
+// HealthMesh is one mesh's block of the /healthz body.
+type HealthMesh struct {
+	// Status is "ok", or "degraded" when the mesh's journal has latched
+	// an error (reads still serve; commits are refused with STORAGE).
+	Status string `json:"status"`
+	// JournalError is the latched journal error of a degraded mesh.
+	JournalError string `json:"journal_error,omitempty"`
+}
+
+// Health is the body of GET /healthz.
+type Health struct {
+	// Status is "ok", "degraded" (at least one mesh's journal is sick),
+	// or "draining". Plain /healthz answers 200 for ok AND degraded — a
+	// degraded server still serves reads, and restarting it won't grow
+	// the disk back. `?strict=1` turns degraded into a 503 for
+	// orchestrators that want to rotate sick replicas out.
+	Status string `json:"status"`
+	// Meshes carries the per-mesh health; only present when a data dir
+	// makes per-mesh durability a thing that can fail.
+	Meshes map[string]HealthMesh `json:"meshes,omitempty"`
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.Draining() {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		writeJSON(w, http.StatusServiceUnavailable, Health{Status: "draining"})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	h := s.Health()
+	status := http.StatusOK
+	if h.Status != "ok" && r.URL.Query().Get("strict") == "1" {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, h)
+}
+
+// Health reports per-mesh journal health: a mesh whose journal latched
+// an error is "degraded" (serving reads, refusing commits), and one
+// degraded mesh degrades the whole server's status.
+func (s *Server) Health() Health {
+	s.mu.RLock()
+	entries := make([]*meshEntry, 0, len(s.meshes))
+	for _, e := range s.meshes {
+		entries = append(entries, e)
+	}
+	s.mu.RUnlock()
+	h := Health{Status: "ok"}
+	for _, e := range entries {
+		if e.journal == nil {
+			continue
+		}
+		if h.Meshes == nil {
+			h.Meshes = make(map[string]HealthMesh, len(entries))
+		}
+		m := HealthMesh{Status: "ok"}
+		if err := e.journal.Err(); err != nil {
+			m = HealthMesh{Status: "degraded", JournalError: err.Error()}
+			h.Status = "degraded"
+		}
+		h.Meshes[e.name] = m
+	}
+	return h
 }
 
 func (s *Server) handleVarz(w http.ResponseWriter, r *http.Request) {
@@ -396,6 +503,10 @@ func (s *Server) Varz() Varz {
 			}
 		}
 		v.Meshes[e.name] = mv
+	}
+	if s.admission != nil {
+		st := s.admission.Stats()
+		v.Admission = &st
 	}
 	return v
 }
@@ -637,6 +748,11 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 		writeError(w, nil, notFound(name))
 		return
 	}
+	release, ok := s.admit(w, r, e)
+	if !ok {
+		return
+	}
+	defer release()
 	var req RouteWireRequest
 	if we, ok := decodeBody(w, r, &req); !ok {
 		writeError(w, e, we)
@@ -674,6 +790,13 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, nil, notFound(name))
 		return
 	}
+	// The inflight slot is held for the whole stream, not just the
+	// decode: a batch's cost is its routing work.
+	release, ok := s.admit(w, r, e)
+	if !ok {
+		return
+	}
+	defer release()
 	var req BatchWireRequest
 	if we, ok := decodeBody(w, r, &req); !ok {
 		writeError(w, e, we)
@@ -756,6 +879,11 @@ func (s *Server) handleFaults(w http.ResponseWriter, r *http.Request) {
 		writeError(w, nil, notFound(name))
 		return
 	}
+	release, ok := s.admit(w, r, e)
+	if !ok {
+		return
+	}
+	defer release()
 	var req FaultsWireRequest
 	if we, ok := decodeBody(w, r, &req); !ok {
 		writeError(w, e, we)

@@ -48,7 +48,7 @@ func statusForCode(code string) int {
 		return http.StatusConflict // 409
 	case meshroute.CodeAborted:
 		return http.StatusUnprocessableEntity // 422
-	case CodeRegistryFull:
+	case CodeRegistryFull, meshroute.CodeResourceExhausted:
 		return http.StatusTooManyRequests // 429
 	case meshroute.CodeWatchClosed:
 		return http.StatusGone // 410: the stream is over and will not resume
@@ -90,6 +90,10 @@ type WireError struct {
 	OpIndex *int `json:"op_index,omitempty"`
 	// Abort carries the walk diagnostics of an ABORTED routing.
 	Abort *WireAbort `json:"abort,omitempty"`
+	// RetryAfterSeconds is the backoff hint of a RESOURCE_EXHAUSTED
+	// rejection (it also rides the Retry-After header, rounded up to
+	// whole seconds — this field keeps the sub-second precision).
+	RetryAfterSeconds float64 `json:"retry_after_seconds,omitempty"`
 }
 
 // WireAbort carries the diagnostics of a walk that stopped undelivered,
