@@ -37,7 +37,7 @@ BENCH_BASE ?= origin/main
 STATICCHECK_VERSION ?= 2025.1
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: all build vet fmt-check staticcheck govulncheck lint tools-ci test test-examples race bench-smoke bench-json bench-compare serve loadgen smoke fuzz-smoke recover-smoke chaos-smoke check
+.PHONY: all build vet fmt-check staticcheck govulncheck lint tools-ci test test-examples race bench-smoke bench-json bench-compare serve loadgen smoke fuzz-smoke recover-smoke chaos-smoke cluster-smoke check
 
 all: check
 
@@ -238,6 +238,61 @@ chaos-smoke:
 			kill -TERM $$pid 2>/dev/null || true; wait $$pid 2>/dev/null || true; \
 		else echo "chaos-smoke: rebooted meshd did not start"; fi; \
 	fi; \
+	rm -rf $$tmp; exit $$status
+
+# Cluster replication smoke (CI gate): boot a journaled leader plus two
+# read-only followers tailing it, churn fault transactions through the
+# cluster-aware load generator (mutations follow NOT_LEADER redirects to
+# the leader), wait until both followers serve the leader's fault list
+# byte-identically, then kill -9 the leader and require the followers to
+# keep serving reads at the replicated snapshot while refusing commits
+# with NOT_LEADER carrying the (dead) leader's address.
+cluster-smoke:
+	@set -e; tmp=$$(mktemp -d); status=1; \
+	$(GO) build -o $$tmp/meshd ./cmd/meshd; \
+	$(GO) build -o $$tmp/meshload ./cmd/meshload; \
+	$$tmp/meshd -addr 127.0.0.1:0 -addr-file $$tmp/addr_l -data-dir $$tmp/data & lpid=$$!; \
+	for i in $$(seq 1 100); do [ -s $$tmp/addr_l ] && break; sleep 0.1; done; \
+	f1pid=; f2pid=; \
+	if [ -s $$tmp/addr_l ]; then \
+		leader=$$(cat $$tmp/addr_l); \
+		$$tmp/meshd -addr 127.0.0.1:0 -addr-file $$tmp/addr_f1 -follow $$leader -resync 200ms & f1pid=$$!; \
+		$$tmp/meshd -addr 127.0.0.1:0 -addr-file $$tmp/addr_f2 -follow $$leader -resync 200ms & f2pid=$$!; \
+		for i in $$(seq 1 100); do [ -s $$tmp/addr_f1 ] && [ -s $$tmp/addr_f2 ] && break; sleep 0.1; done; \
+		if [ -s $$tmp/addr_f1 ] && [ -s $$tmp/addr_f2 ]; then \
+			f1=$$(cat $$tmp/addr_f1); f2=$$(cat $$tmp/addr_f2); \
+			if $$tmp/meshload -cluster $$leader,$$f1,$$f2 -keep -mesh cm -n 16 -faults 20 \
+				-requests 300 -workers 4 -churn 50ms; then \
+				status=0; \
+				for i in $$(seq 1 50); do \
+					curl -s http://$$leader/v1/meshes/cm/faults > $$tmp/want; \
+					curl -s http://$$f1/v1/meshes/cm/faults > $$tmp/got1; \
+					curl -s http://$$f2/v1/meshes/cm/faults > $$tmp/got2; \
+					cmp -s $$tmp/want $$tmp/got1 && cmp -s $$tmp/want $$tmp/got2 && break; \
+					sleep 0.1; \
+				done; \
+				cmp -s $$tmp/want $$tmp/got1 || { echo "cluster-smoke: follower 1 never converged"; status=1; }; \
+				cmp -s $$tmp/want $$tmp/got2 || { echo "cluster-smoke: follower 2 never converged"; status=1; }; \
+				kill -9 $$lpid 2>/dev/null; wait $$lpid 2>/dev/null || true; \
+				for f in $$f1 $$f2; do \
+					curl -s http://$$f/v1/meshes/cm/faults > $$tmp/after \
+						|| { echo "cluster-smoke: $$f stopped serving after leader kill"; status=1; }; \
+					cmp -s $$tmp/want $$tmp/after \
+						|| { echo "cluster-smoke: $$f diverged after leader kill"; status=1; }; \
+					[ "$$(curl -s -o /dev/null -w '%{http_code}' -X POST http://$$f/v1/meshes/cm/route \
+						-d '{"src":{"x":0,"y":0},"dst":{"x":3,"y":3}}')" = 200 ] \
+						|| { echo "cluster-smoke: route on $$f after leader kill not 200"; status=1; }; \
+					curl -s -X POST http://$$f/v1/meshes/cm/faults \
+						-d '{"ops":[{"op":"add","at":{"x":9,"y":9}}]}' | grep -q '"NOT_LEADER"' \
+						|| { echo "cluster-smoke: commit on $$f not NOT_LEADER"; status=1; }; \
+				done; \
+				[ $$status -eq 0 ] && echo "cluster-smoke: followers byte-identical and serving reads after leader kill -9"; \
+			fi; \
+		else echo "follower meshd did not start"; fi; \
+	else echo "leader meshd did not start"; fi; \
+	kill -9 $$lpid 2>/dev/null || true; \
+	kill -TERM $$f1pid $$f2pid 2>/dev/null || true; \
+	wait 2>/dev/null || true; \
 	rm -rf $$tmp; exit $$status
 
 # Native Go fuzz smoke over the journal's frame decoder: corrupt and

@@ -10,7 +10,8 @@
 //	      [-oracle-bound N] \
 //	      [-data-dir dir] [-fsync always|none|100ms] [-checkpoint-every N] \
 //	      [-tenant-rate R] [-tenant-burst N] [-max-inflight N] \
-//	      [-admit-queue N] [-admit-wait D] [-fail spec]...
+//	      [-admit-queue N] [-admit-wait D] [-fail spec]... \
+//	      [-follow http://leader:8080] [-resync 2s]
 //
 // With -data-dir, mesh state is durable: every committed fault
 // transaction is journaled (internal/journal) under <dir>/<mesh>, and on
@@ -32,6 +33,15 @@
 // affected mesh degrades to read-only — routes serve, commits refuse
 // with STORAGE, /healthz reports degraded — which is exactly what
 // `make chaos-smoke` asserts.
+//
+// -follow turns the daemon into a read-only replica of another meshd:
+// it tails the leader's /v1/meshes/{name}/watch streams (resuming via
+// ?from= across reconnects, healing gaps by snapshot refetch) and
+// serves route/batch/info reads at exactly the leader's snapshot
+// versions, while mutations refuse with NOT_LEADER carrying the leader
+// address. -resync is the mesh-list polling interval that discovers
+// created and deleted meshes. Follower state lives in memory — it is
+// rebuilt from the leader on boot — so -follow rejects -data-dir.
 //
 // On SIGINT/SIGTERM the daemon drains gracefully: the listener stops
 // accepting, /healthz flips to 503, and in-flight requests get the drain
@@ -56,6 +66,7 @@ import (
 	"time"
 
 	"repro/internal/admission"
+	"repro/internal/cluster"
 	"repro/internal/errfs"
 	"repro/internal/journal"
 	"repro/internal/server"
@@ -97,9 +108,19 @@ func main() {
 	maxInflight := flag.Int("max-inflight", 0, "concurrent admitted requests across all tenants (0 = unlimited)")
 	admitQueue := flag.Int("admit-queue", 64, "requests that may wait for an inflight slot (with -max-inflight)")
 	admitWait := flag.Duration("admit-wait", time.Second, "longest a request waits for an inflight slot")
+	follow := flag.String("follow", "", "replicate this leader meshd (base URL) and serve read-only; mutations answer NOT_LEADER with the leader address")
+	resync := flag.Duration("resync", 2*time.Second, "follower mesh-list polling interval (with -follow)")
 	var fails failFlag
 	flag.Var(&fails, "fail", "arm a journal storage failpoint, op[:path=substr][:nth=N][:err=eio|enospc][:torn][:sticky] (repeatable; testing only)")
 	flag.Parse()
+
+	if *follow != "" && *dataDir != "" {
+		log.Fatalf("meshd: -follow and -data-dir are mutually exclusive: follower state is rebuilt from the leader, not from a local journal")
+	}
+	leaderURL := *follow
+	if leaderURL != "" && !strings.Contains(leaderURL, "://") {
+		leaderURL = "http://" + leaderURL
+	}
 
 	policy, every, err := journal.ParseFsync(*fsync)
 	if err != nil {
@@ -127,6 +148,7 @@ func main() {
 		OracleBound:   *oracleBound,
 		DataDir:       *dataDir,
 		Journal:       jopts,
+		FollowerOf:    leaderURL,
 		Admission: admission.Config{
 			TenantRate:  *tenantRate,
 			TenantBurst: *tenantBurst,
@@ -145,6 +167,28 @@ func main() {
 			log.Fatalf("meshd: recover %s: %v", *dataDir, err)
 		}
 		log.Printf("meshd: recovered %d mesh(es) from %s (fsync %s)", n, *dataDir, policy)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if leaderURL != "" {
+		fol, err := cluster.New(cluster.Config{
+			Leader:  leaderURL,
+			Replica: srv,
+			Resync:  *resync,
+			Logf:    log.Printf,
+		})
+		if err != nil {
+			log.Fatalf("meshd: -follow: %v", err)
+		}
+		srv.SetReplication(fol.Stats)
+		log.Printf("meshd: following %s (resync %v); serving read-only", leaderURL, *resync)
+		go func() {
+			if err := fol.Run(ctx); err != nil && !errors.Is(err, context.Canceled) {
+				log.Printf("meshd: replication stopped: %v", err)
+			}
+		}()
 	}
 
 	mux := http.NewServeMux()
@@ -170,8 +214,6 @@ func main() {
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 	select {
 	case err := <-serveErr:
 		log.Fatalf("meshd: serve: %v", err)

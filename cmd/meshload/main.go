@@ -32,9 +32,20 @@
 // run instead asserts the taxonomy NEVER leaks — every response decodes
 // to a documented wire code — while routes keep being delivered.
 //
+// -cluster drives a replicated meshd cluster instead of a single node:
+// route reads are sprayed uniformly across every listed node (leader and
+// read-only followers alike), while mutations start at the consistent-
+// hash placement target for the mesh name and transparently follow
+// NOT_LEADER redirects — the refusal body carries the leader address —
+// so placement misses cost one extra round-trip instead of aborting the
+// run. Before firing traffic, the run waits until every node serves the
+// mesh at (or past) the seeded snapshot version, so follower reads
+// never race the initial replication.
+//
 // Usage:
 //
-//	meshload -addr 127.0.0.1:8080 [-mesh load] [-n 32] [-faults 60] \
+//	meshload -addr 127.0.0.1:8080 [-cluster host:port,host:port,...] \
+//	         [-mesh load] [-n 32] [-faults 60] \
 //	         [-seed 1] [-requests 1000] [-duration 0] [-rate 0] \
 //	         [-workers 16] [-oracle] [-algo rb2] \
 //	         [-churn 0] [-churn-faults -1] [-journal dir] [-keep] \
@@ -57,6 +68,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/journal"
 )
 
@@ -78,6 +90,7 @@ type wireError struct {
 	Code              string  `json:"code"`
 	Message           string  `json:"message"`
 	RetryAfterSeconds float64 `json:"retry_after_seconds"`
+	Leader            string  `json:"leader"`
 }
 
 type errorBody struct {
@@ -92,6 +105,7 @@ var knownCodes = map[string]bool{
 	"NOT_ADJACENT": true, "WATCH_CLOSED": true, "RESOURCE_EXHAUSTED": true,
 	"BAD_REQUEST": true, "MESH_NOT_FOUND": true, "MESH_EXISTS": true,
 	"REGISTRY_FULL": true, "INTERNAL": true, "STORAGE": true,
+	"NOT_LEADER": true,
 }
 
 // tally accumulates response outcomes across workers.
@@ -180,6 +194,7 @@ func retryHint(eb errorBody, resp *http.Response) time.Duration {
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8080", "meshd address (host:port or http URL)")
+	clusterSpec := flag.String("cluster", "", "comma-separated meshd cluster nodes (or @file): reads spray every node, mutations go to the placement target and follow NOT_LEADER redirects (overrides -addr)")
 	meshName := flag.String("mesh", "load", "mesh name to create and drive")
 	n := flag.Int("n", 32, "mesh side length")
 	faults := flag.Int("faults", 60, "initial random faults")
@@ -200,11 +215,6 @@ func main() {
 	chaos := flag.Bool("chaos", false, "fault-injection mode: tolerate STORAGE/429 outcomes but assert the taxonomy never leaks")
 	flag.Parse()
 
-	base := *addr
-	if !strings.Contains(base, "://") {
-		base = "http://" + base
-	}
-	base = strings.TrimRight(base, "/")
 	if *requests <= 0 && *duration <= 0 {
 		*requests = 1000
 	}
@@ -220,6 +230,26 @@ func main() {
 	fail := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, "meshload: "+format+"\n", args...)
 		os.Exit(1)
+	}
+
+	// Resolve the targets: single-node runs read and write -addr; cluster
+	// runs spray reads across every node and start mutations at the
+	// consistent-hash placement target (NOT_LEADER redirects correct any
+	// placement miss at the first mutation).
+	readBases := []string{normalizeBase(*addr)}
+	mt := &mutTarget{base: readBases[0]}
+	if *clusterSpec != "" {
+		pl, err := cluster.ParsePlacement(*clusterSpec)
+		if err != nil {
+			fail("-cluster: %v", err)
+		}
+		nodes := pl.Nodes()
+		readBases = make([]string, len(nodes))
+		for i, n := range nodes {
+			readBases[i] = normalizeBase(n)
+		}
+		mt.set(normalizeBase(pl.Node(*meshName)))
+		fmt.Printf("meshload: cluster of %d nodes; placement target for %q: %s\n", len(nodes), *meshName, mt.get())
 	}
 
 	// With -journal, the recording dictates geometry, the initial fault
@@ -241,33 +271,54 @@ func main() {
 			*journalDir, width, height, len(base.Faults), len(recs))
 	}
 
-	// (Re)create the target mesh and seed its fault configuration.
-	del, err := http.NewRequest(http.MethodDelete, base+"/v1/meshes/"+*meshName, nil)
+	// (Re)create the target mesh and seed its fault configuration. All
+	// mutations go through doMutation, which follows NOT_LEADER
+	// redirects and retries 429s.
+	seedRng := rand.New(rand.NewSource(*seed))
+	if status, _, err := doMutation(client, mt, http.MethodDelete, "/v1/meshes/"+*meshName, nil, *retries, *backoffBase, seedRng, nil); err != nil {
+		fail("cannot reach %s: %v", mt.get(), err)
+	} else if status != http.StatusNoContent && status != http.StatusNotFound {
+		fail("delete mesh: HTTP %d", status)
+	}
+	status, body, err := doMutation(client, mt, http.MethodPost, "/v1/meshes",
+		map[string]any{"name": *meshName, "width": width, "height": height}, *retries, *backoffBase, seedRng, nil)
 	if err != nil {
-		fail("%v", err)
+		fail("create mesh: %v", err)
 	}
-	if resp, err := client.Do(del); err != nil {
-		fail("cannot reach %s: %v", base, err)
-	} else {
-		drainBody(resp)
-	}
-	status, body := post(client, base+"/v1/meshes",
-		map[string]any{"name": *meshName, "width": width, "height": height})
 	if status != http.StatusCreated {
 		fail("create mesh: HTTP %d: %s", status, body)
 	}
 	if *journalDir == "" {
 		initial = []map[string]any{{"op": "inject_random", "count": *faults, "seed": *seed}}
 	}
+	seededVersion := uint64(1) // creation publishes the initial snapshot
 	if len(initial) > 0 {
-		status, body = postRetry429(client, base+"/v1/meshes/"+*meshName+"/faults",
-			map[string]any{"ops": initial}, *retries, *backoffBase, rand.New(rand.NewSource(*seed)), nil)
+		status, body, err = doMutation(client, mt, http.MethodPost, "/v1/meshes/"+*meshName+"/faults",
+			map[string]any{"ops": initial}, *retries, *backoffBase, seedRng, nil)
+		if err != nil {
+			fail("seed faults: %v", err)
+		}
 		if status != http.StatusOK {
 			fail("seed faults: HTTP %d: %s", status, body)
 		}
+		var seeded struct {
+			SnapshotVersion uint64 `json:"snapshot_version"`
+		}
+		if json.Unmarshal([]byte(body), &seeded) == nil && seeded.SnapshotVersion > 0 {
+			seededVersion = seeded.SnapshotVersion
+		}
 	}
 
-	routeURL := base + "/v1/meshes/" + *meshName + "/route"
+	// In a cluster, wait until every node serves the mesh at (or past)
+	// the seeded version before spraying reads at it: followers that are
+	// still tailing the create would answer MESH_NOT_FOUND.
+	if len(readBases) > 1 {
+		if err := waitReplicated(client, readBases, *meshName, seededVersion, 30*time.Second); err != nil {
+			fail("%v", err)
+		}
+		fmt.Printf("meshload: all %d nodes serve %q at v%d or later\n", len(readBases), *meshName, seededVersion)
+	}
+	routePath := "/v1/meshes/" + *meshName + "/route"
 	t := &tally{byCode: make(map[string]int), tenant429: make(map[string]int)}
 	var sent atomic.Int64
 	var replayAttempted atomic.Int64
@@ -358,8 +409,12 @@ func main() {
 					replayAttempted.Add(-1)
 					continue // an empty-delta commit has no wire form
 				}
-				status, body := postRetry429(client, base+"/v1/meshes/"+*meshName+"/faults",
+				status, body, err := doMutation(client, mt, http.MethodPost, "/v1/meshes/"+*meshName+"/faults",
 					map[string]any{"ops": ops}, *retries, *backoffBase, rng, stop)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "meshload: replay transaction v%d: %v\n", rec.Version, err)
+					continue
+				}
 				if status != http.StatusOK {
 					if *chaos && strings.Contains(body, `"STORAGE"`) {
 						fmt.Fprintf(os.Stderr, "meshload: replay stopped: journal degraded (STORAGE) at v%d\n", rec.Version)
@@ -381,7 +436,7 @@ func main() {
 		// of degrading the mesh over a long run. The seeded configuration
 		// is fetched once up front to become the first rotation — churn
 		// never stacks on top of the baseline.
-		prev, err := getFaults(client, base+"/v1/meshes/"+*meshName+"/faults")
+		prev, err := getFaults(client, mt.get()+"/v1/meshes/"+*meshName+"/faults")
 		if err != nil {
 			fail("fetch seeded faults: %v", err)
 		}
@@ -415,8 +470,12 @@ func main() {
 				for _, c := range fresh {
 					ops = append(ops, map[string]any{"op": "add", "at": map[string]any{"x": c.X, "y": c.Y}})
 				}
-				status, body := postRetry429(client, base+"/v1/meshes/"+*meshName+"/faults",
+				status, body, err := doMutation(client, mt, http.MethodPost, "/v1/meshes/"+*meshName+"/faults",
 					map[string]any{"ops": ops}, *retries, *backoffBase, rng, stop)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "meshload: churn transaction: %v\n", err)
+					continue
+				}
 				if status != http.StatusOK {
 					// A degraded journal refuses every further commit — stop
 					// churning instead of spamming a warning per tick. In
@@ -468,8 +527,12 @@ func main() {
 				// One logical request: a 429 is retried with backoff (floored
 				// at the server's Retry-After hint) up to -retries times; the
 				// final attempt's outcome and latency are what get recorded.
+				// Reads spray uniformly across the cluster (a single-node
+				// run has one target): followers serve the same snapshot
+				// versions the leader published.
+				target := readBases[rng.Intn(len(readBases))]
 				for attempt := 0; ; attempt++ {
-					hreq, _ := http.NewRequest(http.MethodPost, routeURL, bytes.NewReader(payload))
+					hreq, _ := http.NewRequest(http.MethodPost, target+routePath, bytes.NewReader(payload))
 					hreq.Header.Set("Content-Type", "application/json")
 					if *tenants > 0 {
 						hreq.Header.Set("X-Tenant", tenant)
@@ -535,11 +598,8 @@ func main() {
 	}
 
 	if !*keep {
-		if req, err := http.NewRequest(http.MethodDelete, base+"/v1/meshes/"+*meshName, nil); err == nil {
-			if resp, err := client.Do(req); err == nil {
-				drainBody(resp)
-			}
-		}
+		_, _, _ = doMutation(client, mt, http.MethodDelete, "/v1/meshes/"+*meshName, nil,
+			*retries, *backoffBase, rand.New(rand.NewSource(*seed*17)), nil)
 	}
 
 	// Summary.
@@ -631,45 +691,121 @@ func getFaults(client *http.Client, url string) ([]coord, error) {
 	return list.Faults, nil
 }
 
-// postRetry429 posts v, retrying 429 responses with jittered exponential
-// backoff (floored at the body's retry_after_seconds hint) up to retries
-// times; any other status returns immediately. stop (may be nil) aborts
-// a pending backoff.
-func postRetry429(client *http.Client, url string, v any, retries int, base time.Duration, rng *rand.Rand, stop <-chan struct{}) (int, string) {
-	for attempt := 0; ; attempt++ {
-		status, body := post(client, url, v)
-		if status != http.StatusTooManyRequests || attempt >= retries {
-			return status, body
+// normalizeBase turns a host:port or URL into a scheme-prefixed base
+// with no trailing slash.
+func normalizeBase(addr string) string {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	return strings.TrimRight(addr, "/")
+}
+
+// mutTarget is the shared, mutable mutation target: it starts at the
+// -addr node (or the -cluster placement target) and is rewritten by
+// every NOT_LEADER redirect, so all mutation paths — seeding, churn,
+// replay, cleanup — converge on the discovered leader after one miss.
+type mutTarget struct {
+	mu   sync.Mutex
+	base string
+}
+
+func (m *mutTarget) get() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.base
+}
+
+func (m *mutTarget) set(base string) {
+	m.mu.Lock()
+	m.base = base
+	m.mu.Unlock()
+}
+
+// maxLeaderHops bounds NOT_LEADER redirect chasing: a healthy cluster
+// resolves in one hop, so a longer chain means the membership config is
+// circular or stale and the refusal should surface.
+const maxLeaderHops = 3
+
+// doMutation sends one mutation (method + optional JSON body) to the
+// current mutation target, following NOT_LEADER redirects via the error
+// body's leader hint (updating the shared target) and retrying 429
+// responses with jittered exponential backoff floored at the
+// retry_after_seconds hint. Any other status returns immediately; a
+// transport failure is the error return. stop (may be nil) aborts a
+// pending backoff.
+func doMutation(client *http.Client, mt *mutTarget, method, path string, v any, retries int, base time.Duration, rng *rand.Rand, stop <-chan struct{}) (int, string, error) {
+	hops, attempt := 0, 0
+	for {
+		var rd io.Reader
+		if v != nil {
+			buf, _ := json.Marshal(v)
+			rd = bytes.NewReader(buf)
 		}
-		var eb errorBody
-		var hint time.Duration
-		if json.Unmarshal([]byte(body), &eb) == nil {
-			hint = time.Duration(eb.Error.RetryAfterSeconds * float64(time.Second))
+		req, err := http.NewRequest(method, mt.get()+path, rd)
+		if err != nil {
+			return 0, "", err
 		}
-		wait := backoffFor(base, attempt, hint, rng)
-		select {
-		case <-stop:
-			return status, body
-		case <-time.After(wait):
+		if v != nil {
+			req.Header.Set("Content-Type", "application/json")
 		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return 0, "", err
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		status, body := resp.StatusCode, strings.TrimSpace(string(raw))
+
+		if status == http.StatusMisdirectedRequest && hops < maxLeaderHops {
+			var eb errorBody
+			if json.Unmarshal(raw, &eb) == nil && eb.Error.Code == "NOT_LEADER" && eb.Error.Leader != "" {
+				mt.set(normalizeBase(eb.Error.Leader))
+				hops++
+				continue
+			}
+		}
+		if status == http.StatusTooManyRequests && attempt < retries {
+			var eb errorBody
+			var hint time.Duration
+			if json.Unmarshal(raw, &eb) == nil {
+				hint = time.Duration(eb.Error.RetryAfterSeconds * float64(time.Second))
+			}
+			wait := backoffFor(base, attempt, hint, rng)
+			attempt++
+			select {
+			case <-stop:
+				return status, body, nil
+			case <-time.After(wait):
+			}
+			continue
+		}
+		return status, body, nil
 	}
 }
 
-// post sends one JSON POST and returns the status and body.
-func post(client *http.Client, url string, v any) (int, string) {
-	buf, _ := json.Marshal(v)
-	resp, err := client.Post(url, "application/json", bytes.NewReader(buf))
-	if err != nil {
-		return 0, err.Error()
+// waitReplicated polls every node until it serves mesh at (or past)
+// version, the signal that the initial create + seed replicated.
+func waitReplicated(client *http.Client, bases []string, mesh string, version uint64, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for _, b := range bases {
+		for {
+			var info struct {
+				SnapshotVersion uint64 `json:"snapshot_version"`
+			}
+			resp, err := client.Get(b + "/v1/meshes/" + mesh)
+			if err == nil {
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK &&
+					json.Unmarshal(body, &info) == nil && info.SnapshotVersion >= version {
+					break
+				}
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("node %s did not replicate %q to v%d within %v", b, mesh, version, timeout)
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
 	}
-	body, _ := io.ReadAll(resp.Body)
-	resp.Body.Close()
-	return resp.StatusCode, strings.TrimSpace(string(body))
-}
-
-// drainBody discards and closes a response body so the connection can be
-// reused.
-func drainBody(resp *http.Response) {
-	_, _ = io.Copy(io.Discard, resp.Body)
-	resp.Body.Close()
+	return nil
 }

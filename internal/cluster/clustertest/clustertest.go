@@ -1,0 +1,229 @@
+// Package clustertest is the in-process replication fixture: a leader
+// meshd server plus N read-only followers wired over httptest, each
+// follower running a real cluster.Follower against the leader's HTTP
+// surface. Every replication test — convergence properties, failover
+// chaos, golden wire bodies — drives a Cluster from this package so the
+// topology under test is the same one cmd/meshd assembles in production.
+package clustertest
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/server"
+)
+
+// Options configures Start.
+type Options struct {
+	// Followers is the number of read-only replicas to boot (default 0;
+	// add more later with AddFollower).
+	Followers int
+	// Leader configures the leader server (FollowerOf must be empty).
+	Leader server.Config
+	// Resync, ReconnectMin, ReconnectMax tune the followers' polling
+	// and backoff; the defaults are test-fast (50ms / 10ms / 250ms).
+	Resync, ReconnectMin, ReconnectMax time.Duration
+}
+
+// Node is one cluster member: the server core, its HTTP front, and —
+// on followers — the replication tail.
+type Node struct {
+	Server   *server.Server
+	HTTP     *httptest.Server
+	URL      string
+	Follower *cluster.Follower // nil on the leader
+}
+
+// Cluster is a leader plus N followers. All members are torn down by
+// t.Cleanup in reverse boot order, with every follower's replication
+// goroutine fully stopped before its server closes.
+type Cluster struct {
+	t    testing.TB
+	opts Options
+
+	Leader    *Node
+	Followers []*Node
+}
+
+// Start boots a leader and opts.Followers replicas.
+func Start(t testing.TB, opts Options) *Cluster {
+	t.Helper()
+	if opts.Resync <= 0 {
+		opts.Resync = 50 * time.Millisecond
+	}
+	if opts.ReconnectMin <= 0 {
+		opts.ReconnectMin = 10 * time.Millisecond
+	}
+	if opts.ReconnectMax <= 0 {
+		opts.ReconnectMax = 250 * time.Millisecond
+	}
+	lsrv := server.New(opts.Leader)
+	if opts.Leader.DataDir != "" {
+		if _, err := lsrv.Recover(); err != nil {
+			t.Fatalf("clustertest: recover leader: %v", err)
+		}
+	}
+	lts := httptest.NewServer(lsrv.Handler())
+	t.Cleanup(lts.Close)
+	c := &Cluster{
+		t:      t,
+		opts:   opts,
+		Leader: &Node{Server: lsrv, HTTP: lts, URL: lts.URL},
+	}
+	for i := 0; i < opts.Followers; i++ {
+		c.AddFollower()
+	}
+	return c
+}
+
+// AddFollower boots one replica tailing the leader directly.
+func (c *Cluster) AddFollower() *Node {
+	return c.AddFollowerAt(c.Leader.URL)
+}
+
+// AddFollowerAt boots one replica tailing leaderURL — usually the
+// leader itself, but chaos tests interpose a flaky proxy here.
+func (c *Cluster) AddFollowerAt(leaderURL string) *Node {
+	c.t.Helper()
+	cfg := c.opts.Leader
+	cfg.DataDir = ""
+	cfg.FollowerOf = leaderURL
+	fsrv := server.New(cfg)
+	fts := httptest.NewServer(fsrv.Handler())
+	fol, err := cluster.New(cluster.Config{
+		Leader:       leaderURL,
+		Replica:      fsrv,
+		Resync:       c.opts.Resync,
+		ReconnectMin: c.opts.ReconnectMin,
+		ReconnectMax: c.opts.ReconnectMax,
+	})
+	if err != nil {
+		fts.Close()
+		c.t.Fatalf("clustertest: follower: %v", err)
+	}
+	fsrv.SetReplication(fol.Stats)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = fol.Run(ctx)
+	}()
+	// Stop replication (and wait for every tail goroutine) BEFORE the
+	// HTTP servers close, so no tail touches a dead test server.
+	c.t.Cleanup(func() {
+		cancel()
+		<-done
+		fts.Close()
+	})
+	n := &Node{Server: fsrv, HTTP: fts, URL: fts.URL, Follower: fol}
+	c.Followers = append(c.Followers, n)
+	return n
+}
+
+// Nodes returns the leader followed by every follower.
+func (c *Cluster) Nodes() []*Node {
+	return append([]*Node{c.Leader}, c.Followers...)
+}
+
+// WaitConverged blocks until every follower serves mesh with the
+// byte-identical fault-list body (faults AND snapshot version) the
+// leader serves, failing the test after timeout. It re-reads the leader
+// each poll, so it also converges under concurrent leader commits once
+// they quiesce.
+func (c *Cluster) WaitConverged(mesh string, timeout time.Duration) {
+	c.t.Helper()
+	deadline := time.Now().Add(timeout)
+	var last string
+	for {
+		want, wantStatus := Get(c.t, c.Leader.URL+"/v1/meshes/"+mesh+"/faults")
+		synced := 0
+		for _, f := range c.Followers {
+			got, gotStatus := Get(c.t, f.URL+"/v1/meshes/"+mesh+"/faults")
+			if gotStatus == wantStatus && got == want {
+				synced++
+			} else {
+				last = fmt.Sprintf("follower %s: status %d body %.120q, leader: status %d body %.120q",
+					f.URL, gotStatus, got, wantStatus, want)
+			}
+		}
+		if synced == len(c.Followers) {
+			return
+		}
+		if time.Now().After(deadline) {
+			c.t.Fatalf("clustertest: %q not converged after %v: %s", mesh, timeout, last)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// Get issues a GET and returns (body, status). Transport errors fail
+// the test — point chaos at the replication stream, not at the asserts.
+func Get(t testing.TB, url string) (string, int) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("clustertest: GET %s: %v", url, err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("clustertest: GET %s: read: %v", url, err)
+	}
+	return strings.TrimSpace(string(body)), resp.StatusCode
+}
+
+// PostJSON issues a JSON POST and returns (body, status).
+func PostJSON(t testing.TB, url string, v any) (string, int) {
+	t.Helper()
+	buf, err := json.Marshal(v)
+	if err != nil {
+		t.Fatalf("clustertest: marshal: %v", err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatalf("clustertest: POST %s: %v", url, err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("clustertest: POST %s: read: %v", url, err)
+	}
+	return strings.TrimSpace(string(body)), resp.StatusCode
+}
+
+// MustCreate creates a width x height mesh on the leader.
+func (c *Cluster) MustCreate(mesh string, width, height int) {
+	c.t.Helper()
+	body, status := PostJSON(c.t, c.Leader.URL+"/v1/meshes",
+		map[string]any{"name": mesh, "width": width, "height": height})
+	if status != http.StatusCreated {
+		c.t.Fatalf("clustertest: create %q: status %d: %s", mesh, status, body)
+	}
+}
+
+// MustFaults commits one fault transaction on the leader and returns
+// the published snapshot version.
+func (c *Cluster) MustFaults(mesh string, ops []map[string]any) uint64 {
+	c.t.Helper()
+	body, status := PostJSON(c.t, c.Leader.URL+"/v1/meshes/"+mesh+"/faults",
+		map[string]any{"ops": ops})
+	if status != http.StatusOK {
+		c.t.Fatalf("clustertest: faults on %q: status %d: %s", mesh, status, body)
+	}
+	var resp struct {
+		SnapshotVersion uint64 `json:"snapshot_version"`
+	}
+	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+		c.t.Fatalf("clustertest: faults response: %v", err)
+	}
+	return resp.SnapshotVersion
+}

@@ -1,0 +1,155 @@
+package cluster_test
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/cluster/clustertest"
+)
+
+// TestReplicationConvergence is the replication property test: drive
+// the leader with a random commit sequence (random adds, repairs, and
+// inject_random regenerations — the same shape the journal replay
+// property test uses), wait for quiescence, and demand every follower
+// is indistinguishable from the leader over the wire: byte-identical
+// fault lists, byte-identical mesh info (so snapshot versions match
+// exactly), and byte-identical route responses under all four routing
+// algorithms for random src/dst pairs.
+func TestReplicationConvergence(t *testing.T) {
+	rounds, commits := 3, 40
+	if testing.Short() {
+		rounds, commits = 1, 12
+	}
+	c := clustertest.Start(t, clustertest.Options{Followers: 2})
+
+	const side = 12
+	for round := 0; round < rounds; round++ {
+		rng := rand.New(rand.NewSource(int64(round)*7919 + 1))
+		mesh := fmt.Sprintf("conv-%d", round)
+		c.MustCreate(mesh, side, side)
+
+		var version uint64
+		for i := 0; i < commits; i++ {
+			version = c.MustFaults(mesh, randomOps(rng, side))
+		}
+		if version < 2 {
+			t.Fatalf("round %d: leader never advanced past the initial snapshot", round)
+		}
+
+		c.WaitConverged(mesh, 5*time.Second)
+		assertIndistinguishable(t, c, mesh, rng)
+	}
+}
+
+// randomOps builds one random fault transaction: usually 1–4 add or
+// repair edits, occasionally an inject_random that replaces the whole
+// set (including a seed collision that can regenerate it unchanged —
+// the empty-delta commit followers must still mirror).
+func randomOps(rng *rand.Rand, side int) []map[string]any {
+	if rng.Intn(8) == 0 {
+		return []map[string]any{{
+			"op":    "inject_random",
+			"count": rng.Intn(side * side / 2),
+			"seed":  rng.Int63n(4), // tiny seed space to provoke no-op regens
+		}}
+	}
+	n := 1 + rng.Intn(4)
+	ops := make([]map[string]any, 0, n)
+	for i := 0; i < n; i++ {
+		at := map[string]any{"x": rng.Intn(side), "y": rng.Intn(side)}
+		op := "add"
+		if rng.Intn(3) == 0 {
+			op = "repair"
+		}
+		ops = append(ops, map[string]any{"op": op, "at": at})
+	}
+	return ops
+}
+
+// assertIndistinguishable compares leader and followers over the read
+// surface a client actually sees.
+func assertIndistinguishable(t *testing.T, c *clustertest.Cluster, mesh string, rng *rand.Rand) {
+	t.Helper()
+	const side = 12
+
+	// Fault list and mesh info: byte-identical, so versions match too.
+	for _, path := range []string{"/v1/meshes/" + mesh + "/faults", "/v1/meshes/" + mesh} {
+		want, wantStatus := clustertest.Get(t, c.Leader.URL+path)
+		if wantStatus != http.StatusOK {
+			t.Fatalf("leader GET %s: status %d: %s", path, wantStatus, want)
+		}
+		for i, f := range c.Followers {
+			got, gotStatus := clustertest.Get(t, f.URL+path)
+			if gotStatus != wantStatus || got != want {
+				t.Fatalf("follower %d GET %s diverged:\n got (%d) %s\nwant (%d) %s",
+					i, path, gotStatus, got, wantStatus, want)
+			}
+		}
+	}
+
+	// Route responses: all four algorithms over random pairs. Routing is
+	// deterministic in the snapshot, so identical replicas must produce
+	// identical paths, statuses, and versions — fault-blocked pairs
+	// included (the error body must match as well).
+	routeURL := "/v1/meshes/" + mesh + "/route"
+	for _, algo := range []string{"ecube", "rb1", "rb2", "rb3"} {
+		for pair := 0; pair < 8; pair++ {
+			req := map[string]any{
+				"src":       map[string]any{"x": rng.Intn(side), "y": rng.Intn(side)},
+				"dst":       map[string]any{"x": rng.Intn(side), "y": rng.Intn(side)},
+				"algorithm": algo,
+			}
+			want, wantStatus := clustertest.PostJSON(t, c.Leader.URL+routeURL, req)
+			for i, f := range c.Followers {
+				got, gotStatus := clustertest.PostJSON(t, f.URL+routeURL, req)
+				if gotStatus != wantStatus || got != want {
+					t.Fatalf("follower %d route %v diverged:\n got (%d) %s\nwant (%d) %s",
+						i, req, gotStatus, got, wantStatus, want)
+				}
+			}
+		}
+	}
+}
+
+// TestReplicationMeshLifecycle checks the discovery half of the
+// protocol: followers pick up meshes created after they boot, and drop
+// meshes the leader deletes.
+func TestReplicationMeshLifecycle(t *testing.T) {
+	c := clustertest.Start(t, clustertest.Options{Followers: 1})
+	f := c.Followers[0]
+
+	c.MustCreate("life", 8, 8)
+	c.MustFaults("life", []map[string]any{{"op": "add", "at": map[string]any{"x": 3, "y": 3}}})
+	c.WaitConverged("life", 5*time.Second)
+
+	// Delete on the leader: the follower's resync poll must drop it.
+	req, _ := http.NewRequest(http.MethodDelete, c.Leader.URL+"/v1/meshes/life", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("delete: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete: status %d", resp.StatusCode)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, status := clustertest.Get(t, f.URL+"/v1/meshes/life")
+		if status == http.StatusNotFound {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("follower still serves deleted mesh (status %d)", status)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Recreate under the same name: versions restart, and the follower
+	// must converge on the new incarnation rather than the stale cursor.
+	c.MustCreate("life", 6, 6)
+	c.MustFaults("life", []map[string]any{{"op": "add", "at": map[string]any{"x": 1, "y": 1}}})
+	c.WaitConverged("life", 5*time.Second)
+}

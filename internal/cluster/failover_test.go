@@ -1,0 +1,219 @@
+package cluster_test
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"net/http/httputil"
+	"net/url"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/cluster/clustertest"
+	"repro/internal/errfs"
+	"repro/internal/journal"
+	"repro/internal/server"
+)
+
+func tailStats(t *testing.T, n *clustertest.Node, mesh string) (stats struct {
+	Reconnects, GapsHealed uint64
+}) {
+	t.Helper()
+	s, ok := n.Follower.Stats()[mesh]
+	if !ok {
+		t.Fatalf("follower has no tail for %q", mesh)
+	}
+	stats.Reconnects, stats.GapsHealed = s.Reconnects, s.GapsHealed
+	return stats
+}
+
+// TestFailoverStreamReconnect severs every follower connection
+// mid-stream on a journaled leader. The follower must reconnect with
+// ?from= and resume from the retained journal tail — converging again
+// with NO gap heal (no snapshot refetch), which proves the resume
+// protocol replays the missed commits rather than starting over.
+func TestFailoverStreamReconnect(t *testing.T) {
+	c := clustertest.Start(t, clustertest.Options{
+		Followers: 1,
+		Leader:    server.Config{DataDir: t.TempDir()},
+	})
+	f := c.Followers[0]
+
+	c.MustCreate("fo", 10, 10)
+	c.MustFaults("fo", []map[string]any{{"op": "add", "at": map[string]any{"x": 2, "y": 2}}})
+	c.WaitConverged("fo", 5*time.Second)
+
+	c.Leader.HTTP.CloseClientConnections()
+	// The severed pool includes this test's own keep-alive conns; drop
+	// them so the next POST dials fresh instead of failing with EOF.
+	http.DefaultClient.CloseIdleConnections()
+	// Commits the follower misses while disconnected.
+	c.MustFaults("fo", []map[string]any{{"op": "add", "at": map[string]any{"x": 3, "y": 3}}})
+	c.MustFaults("fo", []map[string]any{{"op": "repair", "at": map[string]any{"x": 2, "y": 2}}})
+	c.WaitConverged("fo", 5*time.Second)
+
+	st := tailStats(t, f, "fo")
+	if st.Reconnects == 0 {
+		t.Fatalf("follower converged without reconnecting — the drop never happened")
+	}
+	if st.GapsHealed != 0 {
+		t.Fatalf("journaled leader forced %d snapshot refetches; ?from= resume should have replayed the tail", st.GapsHealed)
+	}
+}
+
+// TestFailoverGapHeal severs the stream on a memory-only leader: the
+// versions committed while disconnected are unreplayable (no journal
+// tail), so the resumed stream opens with a gap line and the follower
+// must heal by snapshot refetch — and still end byte-identical.
+func TestFailoverGapHeal(t *testing.T) {
+	// A slow-ish reconnect floor guarantees the post-drop commits land
+	// before the stream re-resumes, so the resume point is genuinely
+	// behind an unreplayable range.
+	c := clustertest.Start(t, clustertest.Options{Followers: 1, ReconnectMin: 50 * time.Millisecond})
+	f := c.Followers[0]
+
+	c.MustCreate("gap", 10, 10)
+	c.MustFaults("gap", []map[string]any{{"op": "add", "at": map[string]any{"x": 1, "y": 1}}})
+	c.WaitConverged("gap", 5*time.Second)
+
+	c.Leader.HTTP.CloseClientConnections()
+	// The severed pool includes this test's own keep-alive conns; drop
+	// them so the next POST dials fresh instead of failing with EOF.
+	http.DefaultClient.CloseIdleConnections()
+	c.MustFaults("gap", []map[string]any{{"op": "add", "at": map[string]any{"x": 4, "y": 4}}})
+	c.MustFaults("gap", []map[string]any{{"op": "add", "at": map[string]any{"x": 5, "y": 5}}})
+	c.WaitConverged("gap", 5*time.Second)
+
+	if st := tailStats(t, f, "gap"); st.GapsHealed == 0 {
+		t.Fatalf("memory-only leader: follower converged without a gap heal (reconnects=%d)", st.Reconnects)
+	}
+}
+
+// TestFailoverTruncatedLine interposes a proxy that hands the
+// follower's FIRST watch stream a heartbeat followed by a torn,
+// half-written event line, then cuts the connection. The follower must
+// treat the undecodable line as poison — drop the stream, re-resume via
+// ?from= through the now-honest proxy — and never apply garbage.
+func TestFailoverTruncatedLine(t *testing.T) {
+	c := clustertest.Start(t, clustertest.Options{Followers: 0})
+	c.MustCreate("torn", 10, 10)
+	c.MustFaults("torn", []map[string]any{{"op": "add", "at": map[string]any{"x": 6, "y": 6}}})
+
+	target, err := url.Parse(c.Leader.URL)
+	if err != nil {
+		t.Fatalf("parse leader URL: %v", err)
+	}
+	rp := httputil.NewSingleHostReverseProxy(target)
+	var torn atomic.Bool
+	proxy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasSuffix(r.URL.Path, "/watch") && torn.CompareAndSwap(false, true) {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			w.WriteHeader(http.StatusOK)
+			// A valid line, then a line cut mid-token — the signature of
+			// a leader crash or a broken middlebox.
+			_, _ = w.Write([]byte("{\"heartbeat\":{\"version\":1}}\n{\"event\":{\"ver"))
+			return
+		}
+		rp.ServeHTTP(w, r)
+	}))
+	// Registered BEFORE AddFollowerAt so the follower's tails stop first:
+	// httptest.Close blocks on in-flight (proxied watch) requests.
+	t.Cleanup(proxy.Close)
+
+	f := c.AddFollowerAt(proxy.URL)
+
+	// Wait for the poisoned stream to be consumed, THEN commit: the new
+	// version is only observable through a re-resumed, honest stream, so
+	// converging on it proves the torn line did not wedge (or corrupt)
+	// the tail.
+	deadline := time.Now().Add(5 * time.Second)
+	for !torn.Load() {
+		if time.Now().After(deadline) {
+			t.Fatalf("proxy never served the torn stream")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	c.MustFaults("torn", []map[string]any{{"op": "add", "at": map[string]any{"x": 1, "y": 2}}})
+	c.WaitConverged("torn", 5*time.Second)
+
+	if st := tailStats(t, f, "torn"); st.Reconnects == 0 {
+		t.Fatalf("follower converged without reconnecting past the torn line")
+	}
+}
+
+// TestFailoverLeaderStorageFault latches the leader's journal with a
+// sticky write fault. Leader commits refuse with STORAGE after applying
+// in memory — and the followers must converge to that in-memory state
+// (the published watch event), keep serving reads, and refuse
+// mutations with NOT_LEADER as before. The leader's durability loss
+// must not wedge replication.
+func TestFailoverLeaderStorageFault(t *testing.T) {
+	inj := errfs.New(nil)
+	c := clustertest.Start(t, clustertest.Options{
+		Followers: 1,
+		Leader: server.Config{
+			DataDir: t.TempDir(),
+			Journal: journal.Options{FS: inj},
+		},
+	})
+	f := c.Followers[0]
+
+	c.MustCreate("sick", 10, 10)
+	c.MustFaults("sick", []map[string]any{{"op": "add", "at": map[string]any{"x": 2, "y": 7}}})
+	c.WaitConverged("sick", 5*time.Second)
+
+	// Every WAL write from here on fails: the next commit is applied in
+	// memory, published on the watch stream, then NACKed with STORAGE.
+	inj.Arm(errfs.Fault{Op: errfs.OpWrite, Path: "wal.log", Sticky: true})
+	body, status := clustertest.PostJSON(t, c.Leader.URL+"/v1/meshes/sick/faults",
+		map[string]any{"ops": []map[string]any{{"op": "add", "at": map[string]any{"x": 8, "y": 8}}}})
+	if status == http.StatusOK {
+		t.Fatalf("commit on a latched journal succeeded: %s", body)
+	}
+	if !strings.Contains(body, `"STORAGE"`) {
+		t.Fatalf("latched commit refused with %d %s, want a STORAGE wire error", status, body)
+	}
+
+	// The NACKed commit is leader truth in memory; followers mirror it.
+	c.WaitConverged("sick", 5*time.Second)
+	got, gotStatus := clustertest.Get(t, f.URL+"/v1/meshes/sick/faults")
+	if gotStatus != http.StatusOK || !strings.Contains(got, `{"x":8,"y":8}`) {
+		t.Fatalf("follower missing the NACKed-but-published fault: %d %s", gotStatus, got)
+	}
+}
+
+// TestFollowerNeverAheadOfLeader samples versions during live churn and
+// demands the follower's published snapshot version never exceeds the
+// leader's — a follower must not serve a version it has not observed.
+// Sampling the follower BEFORE the leader makes the check sound under
+// concurrency: versions are monotone, so follower-then-leader reads can
+// only understate the leader.
+func TestFollowerNeverAheadOfLeader(t *testing.T) {
+	c := clustertest.Start(t, clustertest.Options{Followers: 1})
+	f := c.Followers[0]
+	c.MustCreate("mono", 10, 10)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 30; i++ {
+			c.MustFaults("mono", []map[string]any{{"op": "add", "at": map[string]any{"x": i % 10, "y": (i / 10) % 10}}})
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	for {
+		fv, fok := f.Server.MeshVersion("mono")
+		lv, lok := c.Leader.Server.MeshVersion("mono")
+		if fok && lok && fv > lv {
+			t.Fatalf("follower published v%d ahead of leader v%d", fv, lv)
+		}
+		select {
+		case <-done:
+			c.WaitConverged("mono", 5*time.Second)
+			return
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+// Package cluster implements static-membership replication for meshd:
+// a consistent-hash Placement that maps mesh names onto cluster nodes,
+// and a Follower that tails a leader's /v1/meshes/{name}/watch NDJSON
+// streams and installs every fault delta into a local read-only replica
+// at exactly the leader's snapshot versions.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"os"
+	"sort"
+	"strings"
+)
+
+// virtualNodes is the number of ring points per member. 64 keeps the
+// ring small (a cluster of tens of nodes is a few KB) while spreading
+// meshes within a few percent of even across members.
+const virtualNodes = 64
+
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// Placement is a static-membership consistent-hash ring: each member
+// contributes virtualNodes points keyed by fnv64a("node#i"), and a mesh
+// name maps to the member owning the first ring point at or after its
+// hash. Deterministic for a given member list regardless of order, so
+// every client and daemon configured with the same -cluster spec agrees
+// on the leader for every mesh without coordination.
+type Placement struct {
+	nodes []string
+	ring  []ringPoint
+}
+
+// NewPlacement builds a ring over the given members. Members are
+// deduplicated; an empty list is an error.
+func NewPlacement(nodes []string) (*Placement, error) {
+	seen := make(map[string]struct{}, len(nodes))
+	var members []string
+	for _, n := range nodes {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			continue
+		}
+		if _, dup := seen[n]; dup {
+			continue
+		}
+		seen[n] = struct{}{}
+		members = append(members, n)
+	}
+	if len(members) == 0 {
+		return nil, fmt.Errorf("cluster: placement needs at least one node")
+	}
+	sort.Strings(members)
+	p := &Placement{nodes: members, ring: make([]ringPoint, 0, len(members)*virtualNodes)}
+	for _, n := range members {
+		for i := 0; i < virtualNodes; i++ {
+			p.ring = append(p.ring, ringPoint{hash: hash64(fmt.Sprintf("%s#%d", n, i)), node: n})
+		}
+	}
+	sort.Slice(p.ring, func(i, j int) bool {
+		if p.ring[i].hash != p.ring[j].hash {
+			return p.ring[i].hash < p.ring[j].hash
+		}
+		return p.ring[i].node < p.ring[j].node
+	})
+	return p, nil
+}
+
+// ParsePlacement builds a Placement from a comma-separated node list,
+// or — when spec starts with "@" — from a file with one node per line
+// ("#" comments allowed). This is the -cluster flag format shared by
+// cmd/meshd and cmd/meshload.
+func ParsePlacement(spec string) (*Placement, error) {
+	spec = strings.TrimSpace(spec)
+	if rest, ok := strings.CutPrefix(spec, "@"); ok {
+		data, err := os.ReadFile(rest)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: read membership file: %w", err)
+		}
+		var nodes []string
+		for _, line := range strings.Split(string(data), "\n") {
+			if i := strings.IndexByte(line, '#'); i >= 0 {
+				line = line[:i]
+			}
+			nodes = append(nodes, strings.TrimSpace(line))
+		}
+		return NewPlacement(nodes)
+	}
+	return NewPlacement(strings.Split(spec, ","))
+}
+
+// Nodes returns the deduplicated, sorted membership.
+func (p *Placement) Nodes() []string {
+	out := make([]string, len(p.nodes))
+	copy(out, p.nodes)
+	return out
+}
+
+// Node returns the member that owns mesh: the ring successor of the
+// mesh name's hash (wrapping past the highest point).
+func (p *Placement) Node(mesh string) string {
+	h := hash64(mesh)
+	i := sort.Search(len(p.ring), func(i int) bool { return p.ring[i].hash >= h })
+	if i == len(p.ring) {
+		i = 0
+	}
+	return p.ring[i].node
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}

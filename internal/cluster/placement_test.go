@@ -1,0 +1,118 @@
+package cluster
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestPlacementDeterministic(t *testing.T) {
+	nodes := []string{"http://a:1", "http://b:1", "http://c:1"}
+	p1, err := NewPlacement(nodes)
+	if err != nil {
+		t.Fatalf("NewPlacement: %v", err)
+	}
+	// Same members in a different order: identical routing.
+	p2, err := NewPlacement([]string{"http://c:1", "http://a:1", "http://b:1"})
+	if err != nil {
+		t.Fatalf("NewPlacement: %v", err)
+	}
+	meshes := []string{"alpha", "beta", "gamma", "delta", "mesh-0", "mesh-1", "mesh-99"}
+	for _, m := range meshes {
+		if g1, g2 := p1.Node(m), p2.Node(m); g1 != g2 {
+			t.Fatalf("Node(%q) order-dependent: %q vs %q", m, g1, g2)
+		}
+		if got, again := p1.Node(m), p1.Node(m); got != again {
+			t.Fatalf("Node(%q) unstable: %q vs %q", m, got, again)
+		}
+	}
+}
+
+func TestPlacementStability(t *testing.T) {
+	// Removing one member must not reshuffle meshes between the
+	// survivors — that is the point of the consistent-hash ring.
+	all, err := NewPlacement([]string{"http://a:1", "http://b:1", "http://c:1"})
+	if err != nil {
+		t.Fatalf("NewPlacement: %v", err)
+	}
+	fewer, err := NewPlacement([]string{"http://a:1", "http://b:1"})
+	if err != nil {
+		t.Fatalf("NewPlacement: %v", err)
+	}
+	moved := 0
+	const n = 500
+	for i := 0; i < n; i++ {
+		mesh := "mesh-" + string(rune('a'+i%26)) + "-" + string(rune('0'+i%10))
+		before := all.Node(mesh)
+		after := fewer.Node(mesh)
+		if before != "http://c:1" && before != after {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Fatalf("%d/%d meshes not owned by the removed node changed owner", moved, n)
+	}
+}
+
+func TestPlacementDistribution(t *testing.T) {
+	p, err := NewPlacement([]string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"})
+	if err != nil {
+		t.Fatalf("NewPlacement: %v", err)
+	}
+	counts := map[string]int{}
+	const n = 4000
+	for i := 0; i < n; i++ {
+		counts[p.Node(meshName(i))]++
+	}
+	if len(counts) != 4 {
+		t.Fatalf("only %d of 4 nodes ever chosen: %v", len(counts), counts)
+	}
+	// With 64 virtual nodes per member the split is rough, not exact;
+	// demand every member carries at least a third of its fair share.
+	for node, c := range counts {
+		if c < n/4/3 {
+			t.Fatalf("node %s got %d of %d meshes — ring badly skewed: %v", node, c, n, counts)
+		}
+	}
+}
+
+func meshName(i int) string {
+	const digits = "0123456789"
+	return "mesh-" + string(digits[i/1000%10]) + string(digits[i/100%10]) + string(digits[i/10%10]) + string(digits[i%10])
+}
+
+func TestParsePlacement(t *testing.T) {
+	p, err := ParsePlacement(" http://a:1, http://b:1 ,,http://a:1 ")
+	if err != nil {
+		t.Fatalf("ParsePlacement: %v", err)
+	}
+	if got := p.Nodes(); len(got) != 2 || got[0] != "http://a:1" || got[1] != "http://b:1" {
+		t.Fatalf("Nodes() = %v, want deduped sorted pair", got)
+	}
+
+	if _, err := ParsePlacement(" ,, "); err == nil {
+		t.Fatalf("empty spec accepted")
+	}
+	if _, err := NewPlacement(nil); err == nil {
+		t.Fatalf("empty member list accepted")
+	}
+}
+
+func TestParsePlacementFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "members")
+	data := "# cluster members\nhttp://a:1\n\nhttp://b:1  # follower\n"
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	p, err := ParsePlacement("@" + path)
+	if err != nil {
+		t.Fatalf("ParsePlacement(@file): %v", err)
+	}
+	if got := p.Nodes(); len(got) != 2 || got[0] != "http://a:1" || got[1] != "http://b:1" {
+		t.Fatalf("Nodes() = %v, want the two uncommented members", got)
+	}
+
+	if _, err := ParsePlacement("@" + filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatalf("missing member file accepted")
+	}
+}

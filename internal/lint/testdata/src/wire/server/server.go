@@ -11,6 +11,9 @@ const (
 	CodeExtra = "EXTRA"
 	// CodeForgot never made it into statusForCode.
 	CodeForgot = "FORGOT" // want "server wire code CodeForgot has no case in statusForCode"
+	// CodeNotLeader mirrors the replication refusal code: mapped to a
+	// non-2xx/5xx status (421), which must still count as covered.
+	CodeNotLeader = "NOT_LEADER"
 )
 
 // statusForCode maps wire codes onto HTTP statuses.
@@ -18,6 +21,8 @@ func statusForCode(code string) int {
 	switch code {
 	case api.CodeGood, api.CodeDead, CodeExtra:
 		return 200
+	case CodeNotLeader:
+		return 421
 	}
 	return 500
 }

@@ -38,7 +38,7 @@ type collector struct {
 // collector's httpErrors map.
 var errorCodes = []string{
 	CodeBadRequest, CodeMeshNotFound, CodeMeshExists, CodeRegistryFull,
-	CodeInternal, CodeStorage,
+	CodeInternal, CodeStorage, CodeNotLeader,
 	meshroute.CodeOutsideMesh, meshroute.CodeFaultyEndpoint,
 	meshroute.CodeUnreachable, meshroute.CodeAborted,
 	meshroute.CodeCanceled, meshroute.CodeInvalidFaultCount,
@@ -155,6 +155,32 @@ type JournalVarz struct {
 	SinceCheckpoint int `json:"since_checkpoint"`
 }
 
+// ReplicaMeshVarz is one mesh's row of the /varz replication block.
+type ReplicaMeshVarz struct {
+	// AppliedVersion is the last leader snapshot version durably
+	// observed and published locally; LeaderVersion is the highest
+	// version the leader has announced on the stream, and VersionLag is
+	// their difference (0 when caught up).
+	AppliedVersion uint64 `json:"applied_version"`
+	LeaderVersion  uint64 `json:"leader_version"`
+	VersionLag     uint64 `json:"version_lag"`
+	// Reconnects counts watch-stream re-establishments (?from=
+	// re-resumes); GapsHealed counts full snapshot refetches forced by
+	// gap events or out-of-sync deltas.
+	Reconnects uint64 `json:"reconnects"`
+	GapsHealed uint64 `json:"gaps_healed"`
+	// LastError is the most recent stream error, empty while healthy.
+	LastError string `json:"last_error,omitempty"`
+}
+
+// ReplicationVarz is the follower-mode block of /varz.
+type ReplicationVarz struct {
+	// Leader is the leader base URL this server replicates.
+	Leader string `json:"leader"`
+	// Meshes carries per-mesh replication telemetry.
+	Meshes map[string]ReplicaMeshVarz `json:"meshes"`
+}
+
 // Varz is the body of GET /varz.
 type Varz struct {
 	UptimeSeconds float64              `json:"uptime_seconds"`
@@ -163,6 +189,9 @@ type Varz struct {
 	// queued plus per-tenant admitted/rejected/queued); nil when admission
 	// control is disabled.
 	Admission *admission.Stats `json:"admission,omitempty"`
+	// Replication carries the follower's per-mesh replication telemetry;
+	// nil on a leader (see Config.FollowerOf and SetReplication).
+	Replication *ReplicationVarz `json:"replication,omitempty"`
 }
 
 // varz renders the collector against the mesh's cumulative rebuild

@@ -1,0 +1,142 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+)
+
+// registry is the reusable mesh-registry core shared by the leader-only
+// mutation paths, boot recovery, and the follower replication layer
+// (replica.go): named meshEntry slots behind one lock, with create
+// reservations and a size cap. It knows nothing about HTTP or journals
+// — callers that must couple side effects to membership changes (e.g.
+// withdrawing a journal while the name is still held) pass a cleanup
+// run under the lock.
+type registry struct {
+	max int
+
+	mu sync.RWMutex
+	// meshes is the registry of live meshes.
+	//meshlint:guardedby mu
+	meshes map[string]*meshEntry
+	// creating holds names reserved by in-flight creates.
+	//meshlint:guardedby mu
+	creating map[string]struct{}
+}
+
+func newRegistry(max int) *registry {
+	return &registry{
+		max:      max,
+		meshes:   make(map[string]*meshEntry),
+		creating: make(map[string]struct{}),
+	}
+}
+
+// lookup resolves a name to its entry.
+func (r *registry) lookup(name string) (*meshEntry, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.meshes[name]
+	return e, ok
+}
+
+// entries snapshots the live entries (unordered).
+func (r *registry) entries() []*meshEntry {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*meshEntry, 0, len(r.meshes))
+	for _, e := range r.meshes {
+		out = append(out, e)
+	}
+	return out
+}
+
+// reserve claims a create slot: a name that is registered OR mid-create
+// is MESH_EXISTS, and reservations count against the registry cap so
+// concurrent creates cannot overshoot it.
+func (r *registry) reserve(name string) (WireError, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, live := r.meshes[name]
+	_, mid := r.creating[name]
+	if live || mid {
+		return WireError{
+			Code:    CodeMeshExists,
+			Message: fmt.Sprintf("mesh %q already exists", name),
+		}, false
+	}
+	if len(r.meshes)+len(r.creating) >= r.max {
+		return WireError{
+			Code:    CodeRegistryFull,
+			Message: fmt.Sprintf("registry full (%d meshes)", r.max),
+		}, false
+	}
+	r.creating[name] = struct{}{}
+	return WireError{}, true
+}
+
+// commit turns a reservation into a registered mesh.
+func (r *registry) commit(e *meshEntry) {
+	r.mu.Lock()
+	delete(r.creating, e.name)
+	r.meshes[e.name] = e
+	r.mu.Unlock()
+}
+
+// release abandons a reservation after a failed create.
+func (r *registry) release(name string) {
+	r.mu.Lock()
+	delete(r.creating, name)
+	r.mu.Unlock()
+}
+
+// insert registers a recovered entry without the reservation protocol
+// (boot recovery is single-threaded); duplicates and cap overflow are
+// errors.
+func (r *registry) insert(e *meshEntry) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.meshes[e.name]; dup {
+		return fmt.Errorf("already registered")
+	}
+	if len(r.meshes) >= r.max {
+		return fmt.Errorf("registry full (%d meshes)", r.max)
+	}
+	r.meshes[e.name] = e
+	return nil
+}
+
+// replace installs e under its name, returning any displaced entry (nil
+// when the name was free). Unlike commit it needs no reservation — the
+// replication layer serializes upserts per mesh itself — but a NEW name
+// still counts against the cap.
+func (r *registry) replace(e *meshEntry) (*meshEntry, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	old, ok := r.meshes[e.name]
+	if !ok && len(r.meshes) >= r.max {
+		return nil, fmt.Errorf("registry full (%d meshes)", r.max)
+	}
+	r.meshes[e.name] = e
+	if !ok {
+		return nil, nil
+	}
+	return old, nil
+}
+
+// remove unregisters name, invoking cleanup(e) — when non-nil — while
+// the lock still holds the name, so e.g. a journal withdrawal cannot
+// race a concurrent re-create of the same name.
+func (r *registry) remove(name string, cleanup func(*meshEntry)) (*meshEntry, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.meshes[name]
+	if !ok {
+		return nil, false
+	}
+	delete(r.meshes, name)
+	if cleanup != nil {
+		cleanup(e)
+	}
+	return e, true
+}

@@ -64,12 +64,14 @@ import (
 	"regexp"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	meshroute "repro"
 	"repro/internal/admission"
+	"repro/internal/cluster"
 	"repro/internal/engine"
 	"repro/internal/journal"
 )
@@ -113,6 +115,14 @@ type Config struct {
 	// and the global concurrency gate) for the compute-bearing POST
 	// endpoints (route, batch, faults). The zero value admits everything.
 	Admission admission.Config
+	// FollowerOf, when set to a leader's base URL, makes this server a
+	// read-only replica: the mutation endpoints (mesh create/delete,
+	// fault transactions) refuse with NOT_LEADER carrying this address,
+	// and the registry is fed by the replication layer
+	// (internal/cluster via the Replica methods of replica.go) instead
+	// of the wire. Mutually exclusive with DataDir — follower state is
+	// rebuilt from the leader, not from a local journal.
+	FollowerOf string
 }
 
 // The Config defaults.
@@ -138,6 +148,11 @@ type meshEntry struct {
 	metrics *collector
 	journal *journal.Journal // nil without DataDir
 	deleted chan struct{}    // closed when the mesh is unregistered
+	// resynced is closed when a replica snapshot refetch replaces this
+	// entry wholesale (UpsertMesh over an existing name): its watch
+	// streams terminate with WATCH_CLOSED so consumers re-resume against
+	// the new Network. Nil on leader entries, which are never replaced.
+	resynced chan struct{}
 }
 
 // Server is the meshd HTTP API: an http.Handler over a registry of named
@@ -156,13 +171,16 @@ type Server struct {
 	// disabled (the zero value).
 	admission *admission.Controller
 
-	mu sync.RWMutex
-	// meshes is the registry of live meshes.
-	//meshlint:guardedby mu
-	meshes map[string]*meshEntry
-	// creating holds names reserved by in-flight creates.
-	//meshlint:guardedby mu
-	creating map[string]struct{}
+	// reg is the mesh registry core, shared by the leader mutation
+	// paths, boot recovery, and the replica installation paths.
+	reg *registry
+
+	// replMu guards the replication-telemetry hook installed by
+	// SetReplication (follower mode only).
+	replMu sync.Mutex
+	// replStats, when set, sources the /varz replication block.
+	//meshlint:guardedby replMu
+	replStats func() map[string]cluster.TailStats
 }
 
 // New returns an empty Server.
@@ -182,14 +200,14 @@ func New(cfg Config) *Server {
 	if cfg.WatchHeartbeat <= 0 {
 		cfg.WatchHeartbeat = DefaultWatchHeartbeat
 	}
+	cfg.FollowerOf = strings.TrimRight(cfg.FollowerOf, "/")
 	base, cancel := context.WithCancelCause(context.Background())
 	s := &Server{
-		cfg:      cfg,
-		start:    time.Now(),
-		base:     base,
-		cancel:   cancel,
-		meshes:   make(map[string]*meshEntry),
-		creating: make(map[string]struct{}),
+		cfg:    cfg,
+		start:  time.Now(),
+		base:   base,
+		cancel: cancel,
+		reg:    newRegistry(cfg.MaxMeshes),
 	}
 	if cfg.Admission.Enabled() {
 		s.admission = admission.New(cfg.Admission)
@@ -255,19 +273,9 @@ func (s *Server) Recover() (int, error) {
 			return n, fmt.Errorf("server: recover mesh %q: %w", name, err)
 		}
 		e := &meshEntry{name: name, net: net, metrics: metrics, journal: j, deleted: make(chan struct{})}
-		s.mu.Lock()
-		_, dup := s.meshes[name]
-		full := !dup && len(s.meshes) >= s.cfg.MaxMeshes
-		if !dup && !full {
-			s.meshes[name] = e
-		}
-		s.mu.Unlock()
-		if dup || full {
+		if err := s.reg.insert(e); err != nil {
 			j.Close()
-			if dup {
-				return n, fmt.Errorf("server: recover mesh %q: already registered", name)
-			}
-			return n, fmt.Errorf("server: recover mesh %q: registry full (%d meshes)", name, s.cfg.MaxMeshes)
+			return n, fmt.Errorf("server: recover mesh %q: %w", name, err)
 		}
 		n++
 	}
@@ -362,10 +370,21 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request, e *meshEntry) (re
 
 // lookup resolves a {name} path value to its entry.
 func (s *Server) lookup(name string) (*meshEntry, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	e, ok := s.meshes[name]
-	return e, ok
+	return s.reg.lookup(name)
+}
+
+// leaderOnly gates a mutation endpoint: on a follower it refuses with
+// NOT_LEADER carrying the leader's address, before admission control —
+// a misdirected commit should not consume rate-limit budget.
+func (s *Server) leaderOnly() (WireError, bool) {
+	if s.cfg.FollowerOf == "" {
+		return WireError{}, true
+	}
+	return WireError{
+		Code:    CodeNotLeader,
+		Message: "read-only follower: send mutations to the leader",
+		Leader:  s.cfg.FollowerOf,
+	}, false
 }
 
 // writeJSON writes a 2xx JSON response.
@@ -450,12 +469,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // an error is "degraded" (serving reads, refusing commits), and one
 // degraded mesh degrades the whole server's status.
 func (s *Server) Health() Health {
-	s.mu.RLock()
-	entries := make([]*meshEntry, 0, len(s.meshes))
-	for _, e := range s.meshes {
-		entries = append(entries, e)
-	}
-	s.mu.RUnlock()
+	entries := s.reg.entries()
 	h := Health{Status: "ok"}
 	for _, e := range entries {
 		if e.journal == nil {
@@ -480,12 +494,7 @@ func (s *Server) handleVarz(w http.ResponseWriter, r *http.Request) {
 
 // Varz assembles the serving counters of every registered mesh.
 func (s *Server) Varz() Varz {
-	s.mu.RLock()
-	entries := make([]*meshEntry, 0, len(s.meshes))
-	for _, e := range s.meshes {
-		entries = append(entries, e)
-	}
-	s.mu.RUnlock()
+	entries := s.reg.entries()
 	v := Varz{
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Meshes:        make(map[string]*MeshVarz, len(entries)),
@@ -508,10 +517,48 @@ func (s *Server) Varz() Varz {
 		st := s.admission.Stats()
 		v.Admission = &st
 	}
+	s.replMu.Lock()
+	stats := s.replStats
+	s.replMu.Unlock()
+	if stats != nil {
+		rv := &ReplicationVarz{
+			Leader: s.cfg.FollowerOf,
+			Meshes: make(map[string]ReplicaMeshVarz, len(entries)),
+		}
+		for name, ts := range stats() {
+			var lag uint64
+			if ts.LeaderVersion > ts.AppliedVersion {
+				lag = ts.LeaderVersion - ts.AppliedVersion
+			}
+			rv.Meshes[name] = ReplicaMeshVarz{
+				AppliedVersion: ts.AppliedVersion,
+				LeaderVersion:  ts.LeaderVersion,
+				VersionLag:     lag,
+				Reconnects:     ts.Reconnects,
+				GapsHealed:     ts.GapsHealed,
+				LastError:      ts.LastError,
+			}
+		}
+		v.Replication = rv
+	}
 	return v
 }
 
+// SetReplication installs the follower's replication-telemetry source:
+// /varz gains a replication block built from stats() (one TailStats per
+// replicated mesh). cmd/meshd calls it once, after constructing the
+// cluster.Follower whose Stats method it hands in.
+func (s *Server) SetReplication(stats func() map[string]cluster.TailStats) {
+	s.replMu.Lock()
+	s.replStats = stats
+	s.replMu.Unlock()
+}
+
 func (s *Server) handleCreateMesh(w http.ResponseWriter, r *http.Request) {
+	if we, ok := s.leaderOnly(); !ok {
+		writeError(w, nil, we)
+		return
+	}
 	var req CreateMeshRequest
 	if we, ok := decodeBody(w, r, &req); !ok {
 		writeError(w, nil, we)
@@ -544,7 +591,7 @@ func (s *Server) handleCreateMesh(w http.ResponseWriter, r *http.Request) {
 	// creates of one name lose with MESH_EXISTS at this boundary —
 	// before either touches the disk — and holds the registry slot until
 	// commitReserved or releaseReserved resolves it.
-	if we, ok := s.reserveName(req.Name); !ok {
+	if we, ok := s.reg.reserve(req.Name); !ok {
 		writeError(w, nil, we)
 		return
 	}
@@ -558,7 +605,7 @@ func (s *Server) handleCreateMesh(w http.ResponseWriter, r *http.Request) {
 		var err error
 		j, err = journal.Create(filepath.Join(s.cfg.DataDir, req.Name), req.Width, req.Height, s.cfg.Journal)
 		if err != nil {
-			s.releaseReserved(req.Name)
+			s.reg.release(req.Name)
 			// With the name reserved, an existing directory here is
 			// on-disk state the registry does not know about (e.g. a
 			// data dir that was never recovered) — operational, 500.
@@ -572,47 +619,8 @@ func (s *Server) handleCreateMesh(w http.ResponseWriter, r *http.Request) {
 	}
 	net := meshroute.NewWithEngineOptions(req.Width, req.Height, opts)
 	e := &meshEntry{name: req.Name, net: net, metrics: metrics, journal: j, deleted: make(chan struct{})}
-	s.commitReserved(e)
+	s.reg.commit(e)
 	writeJSON(w, http.StatusCreated, s.meshInfo(e, false))
-}
-
-// reserveName claims a create slot: a name that is registered OR mid-
-// create is MESH_EXISTS, and reservations count against the registry
-// cap so concurrent creates cannot overshoot it.
-func (s *Server) reserveName(name string) (WireError, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	_, live := s.meshes[name]
-	_, mid := s.creating[name]
-	if live || mid {
-		return WireError{
-			Code:    CodeMeshExists,
-			Message: fmt.Sprintf("mesh %q already exists", name),
-		}, false
-	}
-	if len(s.meshes)+len(s.creating) >= s.cfg.MaxMeshes {
-		return WireError{
-			Code:    CodeRegistryFull,
-			Message: fmt.Sprintf("registry full (%d meshes)", s.cfg.MaxMeshes),
-		}, false
-	}
-	s.creating[name] = struct{}{}
-	return WireError{}, true
-}
-
-// commitReserved turns a reservation into a registered mesh.
-func (s *Server) commitReserved(e *meshEntry) {
-	s.mu.Lock()
-	delete(s.creating, e.name)
-	s.meshes[e.name] = e
-	s.mu.Unlock()
-}
-
-// releaseReserved abandons a reservation after a failed create.
-func (s *Server) releaseReserved(name string) {
-	s.mu.Lock()
-	delete(s.creating, name)
-	s.mu.Unlock()
 }
 
 // meshInfo snapshots one entry's stats.
@@ -634,12 +642,7 @@ func (s *Server) meshInfo(e *meshEntry, withConnectivity bool) MeshInfo {
 }
 
 func (s *Server) handleListMeshes(w http.ResponseWriter, r *http.Request) {
-	s.mu.RLock()
-	entries := make([]*meshEntry, 0, len(s.meshes))
-	for _, e := range s.meshes {
-		entries = append(entries, e)
-	}
-	s.mu.RUnlock()
+	entries := s.reg.entries()
 	list := MeshList{Meshes: make([]MeshInfo, 0, len(entries))}
 	for _, e := range entries {
 		list.Meshes = append(list.Meshes, s.meshInfo(e, false))
@@ -669,25 +672,26 @@ func (s *Server) handleGetMesh(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDeleteMesh(w http.ResponseWriter, r *http.Request) {
-	name := r.PathValue("name")
-	s.mu.Lock()
-	e, ok := s.meshes[name]
-	delete(s.meshes, name)
-	// The journal is withdrawn with the mesh — an unregistered name must
-	// not resurrect on the next boot — and it is withdrawn while the
-	// registry lock still holds the name, so a concurrent re-create of
-	// the same name cannot have its fresh journal directory swept away.
-	// Deletes are rare; the fsync-on-close under the lock is fine.
-	if ok && e.journal != nil {
-		e.journal.Close()
-		_ = journal.Remove(filepath.Join(s.cfg.DataDir, name))
+	if we, ok := s.leaderOnly(); !ok {
+		writeError(w, nil, we)
+		return
 	}
-	if ok {
+	name := r.PathValue("name")
+	_, ok := s.reg.remove(name, func(e *meshEntry) {
+		// The journal is withdrawn with the mesh — an unregistered name
+		// must not resurrect on the next boot — and it is withdrawn while
+		// the registry lock still holds the name, so a concurrent
+		// re-create of the same name cannot have its fresh journal
+		// directory swept away. Deletes are rare; the fsync-on-close
+		// under the lock is fine.
+		if e.journal != nil {
+			e.journal.Close()
+			_ = journal.Remove(filepath.Join(s.cfg.DataDir, name))
+		}
 		// Tell the mesh's long-lived watch streams the mesh is gone —
 		// their heartbeats would otherwise report a dead Network forever.
 		close(e.deleted)
-	}
-	s.mu.Unlock()
+	})
 	if !ok {
 		writeError(w, nil, notFound(name))
 		return
@@ -877,6 +881,10 @@ func (s *Server) handleFaults(w http.ResponseWriter, r *http.Request) {
 	e, ok := s.lookup(name)
 	if !ok {
 		writeError(w, nil, notFound(name))
+		return
+	}
+	if we, ok := s.leaderOnly(); !ok {
+		writeError(w, e, we)
 		return
 	}
 	release, ok := s.admit(w, r, e)

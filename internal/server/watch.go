@@ -131,6 +131,18 @@ func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 			e.metrics.countError(we.Code)
 			_ = enc.Encode(WatchWireItem{StreamError: &we})
 			return
+		case <-e.resynced:
+			// A replica snapshot refetch replaced this entry's Network
+			// wholesale (see UpsertMesh); this stream's subscription is on
+			// the dead Network. Terminal WATCH_CLOSED: consumers re-open
+			// against the fresh entry with ?from= their last version.
+			we := WireError{
+				Code:    meshroute.CodeWatchClosed,
+				Message: fmt.Sprintf("mesh %q resynced from the leader; re-subscribe to resume", name),
+			}
+			e.metrics.countError(we.Code)
+			_ = enc.Encode(WatchWireItem{StreamError: &we})
+			return
 		case <-ctx.Done():
 			we := wireError(fmt.Errorf("watch: %w: %w", meshroute.ErrCanceled, context.Cause(ctx)))
 			e.metrics.countError(we.Code)

@@ -28,6 +28,12 @@ const (
 	// server (mesh create could not initialize its journal). Operational,
 	// not a client error: 500.
 	CodeStorage = "STORAGE"
+	// CodeNotLeader reports a mutation sent to a read-only follower in a
+	// replicated cluster. The error body's Leader field carries the
+	// leader's base URL; clients resend the request there (see
+	// cmd/meshload). 421: the request was directed at a server unable to
+	// produce an authoritative response.
+	CodeNotLeader = "NOT_LEADER"
 )
 
 // StatusCanceled is the non-standard 499 "client closed request" status
@@ -52,6 +58,8 @@ func statusForCode(code string) int {
 		return http.StatusTooManyRequests // 429
 	case meshroute.CodeWatchClosed:
 		return http.StatusGone // 410: the stream is over and will not resume
+	case CodeNotLeader:
+		return http.StatusMisdirectedRequest // 421: commit on a read-only follower
 	case meshroute.CodeCanceled:
 		return StatusCanceled // 499
 	case CodeInternal, CodeStorage:
@@ -94,6 +102,9 @@ type WireError struct {
 	// rejection (it also rides the Retry-After header, rounded up to
 	// whole seconds — this field keeps the sub-second precision).
 	RetryAfterSeconds float64 `json:"retry_after_seconds,omitempty"`
+	// Leader is the leader's base URL on a NOT_LEADER refusal: the
+	// address the mutation should be resent to.
+	Leader string `json:"leader,omitempty"`
 }
 
 // WireAbort carries the diagnostics of a walk that stopped undelivered,

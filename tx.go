@@ -74,6 +74,13 @@ func (tx *Tx) InjectRandom(count int, seed int64) error {
 	return nil
 }
 
+// Touch marks the transaction dirty without staging an edit, forcing
+// Apply to publish a snapshot (and advance the version by one) even when
+// the fault set is unchanged. Replication layers need it to mirror a
+// leader's empty-delta commits — e.g. an InjectRandom that regenerated an
+// identical set — so follower snapshot versions stay exactly in step.
+func (tx *Tx) Touch() { tx.note() }
+
 // Faulty reports whether c is faulty in the transaction's staged view
 // (published faults plus this transaction's edits).
 func (tx *Tx) Faulty(c Coord) bool { return tx.f.Faulty(c) }
