@@ -37,7 +37,7 @@ BENCH_BASE ?= origin/main
 STATICCHECK_VERSION ?= 2025.1
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: all build vet fmt-check staticcheck govulncheck lint tools-ci test test-examples race bench-smoke bench-json bench-compare serve loadgen smoke fuzz-smoke recover-smoke chaos-smoke cluster-smoke check
+.PHONY: all build vet fmt-check staticcheck govulncheck lint tools-ci test test-examples race bench-smoke bench-json bench-compare serve loadgen smoke fuzz-smoke recover-smoke chaos-smoke cluster-smoke metrics-smoke check
 
 all: check
 
@@ -293,6 +293,73 @@ cluster-smoke:
 	kill -9 $$lpid 2>/dev/null || true; \
 	kill -TERM $$f1pid $$f2pid 2>/dev/null || true; \
 	wait 2>/dev/null || true; \
+	rm -rf $$tmp; exit $$status
+
+# Telemetry smoke (CI gate): boot a journaled leader with admission
+# control and JSON access logs, plus one follower tailing it, drive a
+# meshload pass, then scrape GET /metrics twice and assert (1) the route
+# counter is monotone non-decreasing across scrapes with real traffic in
+# between, (2) every documented metric family (meshd -list-metrics, the
+# same list server.MetricNames() exports) appears across the leader and
+# follower scrapes, and (3) one meshload mutation's X-Request-Id appears
+# in both nodes' access logs — the cluster-wide correlation contract.
+metrics-smoke:
+	@set -e; tmp=$$(mktemp -d); status=1; \
+	$(GO) build -o $$tmp/meshd ./cmd/meshd; \
+	$(GO) build -o $$tmp/meshload ./cmd/meshload; \
+	$$tmp/meshd -addr 127.0.0.1:0 -addr-file $$tmp/addr_l -data-dir $$tmp/data \
+		-tenant-rate 5000 -tenant-burst 1000 -max-inflight 64 \
+		-log json 2> $$tmp/log_l & lpid=$$!; \
+	for i in $$(seq 1 100); do [ -s $$tmp/addr_l ] && break; sleep 0.1; done; \
+	fpid=; \
+	if [ -s $$tmp/addr_l ]; then \
+		leader=$$(cat $$tmp/addr_l); \
+		$$tmp/meshd -addr 127.0.0.1:0 -addr-file $$tmp/addr_f -follow $$leader \
+			-resync 200ms -log json 2> $$tmp/log_f & fpid=$$!; \
+		for i in $$(seq 1 100); do [ -s $$tmp/addr_f ] && break; sleep 0.1; done; \
+		if [ -s $$tmp/addr_f ]; then \
+			follower=$$(cat $$tmp/addr_f); \
+			if $$tmp/meshload -addr $$leader -keep -mesh tm -n 16 -faults 20 \
+				-requests 200 -workers 4 -tenants 2; then \
+				curl -s http://$$leader/metrics > $$tmp/scrape1; \
+				for i in 1 2 3 4 5; do \
+					curl -s -X POST http://$$leader/v1/meshes/tm/route \
+						-d '{"src":{"x":0,"y":0},"dst":{"x":9,"y":9}}' >/dev/null || true; \
+				done; \
+				curl -s http://$$leader/metrics > $$tmp/scrape2; \
+				for i in $$(seq 1 50); do \
+					curl -s http://$$follower/metrics > $$tmp/scrape_f; \
+					grep -q 'meshd_replication_applied_version{mesh="tm"}' $$tmp/scrape_f && break; \
+					sleep 0.1; \
+				done; \
+				status=0; \
+				r1=$$(sed -n 's/^meshd_routes_total{mesh="tm"} //p' $$tmp/scrape1); \
+				r2=$$(sed -n 's/^meshd_routes_total{mesh="tm"} //p' $$tmp/scrape2); \
+				a1=$$(sed -n 's/^meshd_admission_admitted_total //p' $$tmp/scrape1); \
+				a2=$$(sed -n 's/^meshd_admission_admitted_total //p' $$tmp/scrape2); \
+				if [ -z "$$r1" ] || [ -z "$$r2" ] || [ "$$r2" -lt "$$r1" ]; then \
+					echo "metrics-smoke: meshd_routes_total not monotone: '$$r1' -> '$$r2'"; status=1; \
+				elif [ -z "$$a1" ] || [ -z "$$a2" ] || [ "$$a2" -le "$$a1" ]; then \
+					echo "metrics-smoke: meshd_admission_admitted_total did not grow under traffic: '$$a1' -> '$$a2'"; status=1; \
+				else echo "metrics-smoke: counters monotone: routes $$r1 -> $$r2, admitted $$a1 -> $$a2"; fi; \
+				$$tmp/meshd -list-metrics > $$tmp/names; \
+				cat $$tmp/scrape2 $$tmp/scrape_f > $$tmp/scrapes; \
+				while read -r name; do \
+					grep -q "^# TYPE $$name " $$tmp/scrapes \
+						|| { echo "metrics-smoke: documented metric $$name missing from scrapes"; status=1; }; \
+				done < $$tmp/names; \
+				$$tmp/meshload -addr $$follower -mesh tm2 -n 8 -faults 4 \
+					-requests 30 -rate 60 -workers 2 >/dev/null 2>&1 || true; \
+				id=$$(grep '"code":"NOT_LEADER"' $$tmp/log_f | head -1 | sed -n 's/.*"id":"\([^"]*\)".*/\1/p'); \
+				if [ -n "$$id" ] && grep -q "\"id\":\"$$id\"" $$tmp/log_l; then \
+					echo "metrics-smoke: request ID $$id correlated across follower and leader logs"; \
+				else \
+					echo "metrics-smoke: no redirected mutation ID found in both access logs"; status=1; \
+				fi; \
+			fi; \
+		else echo "follower meshd did not start"; fi; \
+	else echo "leader meshd did not start"; fi; \
+	kill -TERM $$lpid $$fpid 2>/dev/null || true; wait 2>/dev/null || true; \
 	rm -rf $$tmp; exit $$status
 
 # Native Go fuzz smoke over the journal's frame decoder: corrupt and

@@ -11,7 +11,8 @@
 //	      [-data-dir dir] [-fsync always|none|100ms] [-checkpoint-every N] \
 //	      [-tenant-rate R] [-tenant-burst N] [-max-inflight N] \
 //	      [-admit-queue N] [-admit-wait D] [-fail spec]... \
-//	      [-follow http://leader:8080] [-resync 2s]
+//	      [-follow http://leader:8080] [-resync 2s] \
+//	      [-log json|text|off] [-slow-ms 0] [-debug-addr 127.0.0.1:6060]
 //
 // With -data-dir, mesh state is durable: every committed fault
 // transaction is journaled (internal/journal) under <dir>/<mesh>, and on
@@ -43,6 +44,20 @@
 // created and deleted meshes. Follower state lives in memory — it is
 // rebuilt from the leader on boot — so -follow rejects -data-dir.
 //
+// -log json emits one structured access line per request on stderr
+// (log/slog JSON): request ID, method, path, mesh, tenant, status, wire
+// code, duration, and the per-request span breakdown (admission_wait,
+// decode, walk, oracle, apply, journal_append, journal_fsync, encode —
+// all _ms). With -slow-ms, requests slower than the threshold
+// additionally log a WARN "slow request" record. Every response carries
+// an X-Request-Id (client-supplied IDs are adopted when well-formed),
+// so one grep correlates a mutation across follower and leader logs.
+//
+// -debug-addr opens a second, operator-only listener serving
+// /debug/pprof (net/http/pprof) and /debug/vars (expvar, including the
+// full /varz document under "meshd") — live profiling without exposing
+// either on the serving port.
+//
 // On SIGINT/SIGTERM the daemon drains gracefully: the listener stops
 // accepting, /healthz flips to 503, and in-flight requests get the drain
 // grace period to finish; batches and watch streams still open when it
@@ -57,8 +72,10 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux for -debug-addr
 	"os"
 	"os/signal"
 	"strings"
@@ -110,9 +127,20 @@ func main() {
 	admitWait := flag.Duration("admit-wait", time.Second, "longest a request waits for an inflight slot")
 	follow := flag.String("follow", "", "replicate this leader meshd (base URL) and serve read-only; mutations answer NOT_LEADER with the leader address")
 	resync := flag.Duration("resync", 2*time.Second, "follower mesh-list polling interval (with -follow)")
+	logMode := flag.String("log", "off", "structured access logs on stderr: json, text, or off")
+	slowMS := flag.Int("slow-ms", 0, "log a WARN slow-request record for requests slower than this many ms (0 = off)")
+	debugAddr := flag.String("debug-addr", "", "serve /debug/pprof and /debug/vars on this extra listener (empty = off)")
+	listMetrics := flag.Bool("list-metrics", false, "print every /metrics family name and exit (the make metrics-smoke contract)")
 	var fails failFlag
 	flag.Var(&fails, "fail", "arm a journal storage failpoint, op[:path=substr][:nth=N][:err=eio|enospc][:torn][:sticky] (repeatable; testing only)")
 	flag.Parse()
+
+	if *listMetrics {
+		for _, name := range server.MetricNames() {
+			fmt.Println(name)
+		}
+		return
+	}
 
 	if *follow != "" && *dataDir != "" {
 		log.Fatalf("meshd: -follow and -data-dir are mutually exclusive: follower state is rebuilt from the leader, not from a local journal")
@@ -125,6 +153,17 @@ func main() {
 	policy, every, err := journal.ParseFsync(*fsync)
 	if err != nil {
 		log.Fatalf("meshd: -fsync: %v", err)
+	}
+
+	var accessLogger *slog.Logger
+	switch *logMode {
+	case "json":
+		accessLogger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	case "text":
+		accessLogger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	case "off", "":
+	default:
+		log.Fatalf("meshd: -log: want json, text, or off, got %q", *logMode)
 	}
 
 	jopts := journal.Options{
@@ -149,6 +188,8 @@ func main() {
 		DataDir:       *dataDir,
 		Journal:       jopts,
 		FollowerOf:    leaderURL,
+		Logger:        accessLogger,
+		SlowThreshold: time.Duration(*slowMS) * time.Millisecond,
 		Admission: admission.Config{
 			TenantRate:  *tenantRate,
 			TenantBurst: *tenantBurst,
@@ -197,6 +238,23 @@ func main() {
 	// under "meshd" — `curl /debug/vars | jq .meshd` mirrors /varz.
 	expvar.Publish("meshd", expvar.Func(func() any { return srv.Varz() }))
 	mux.Handle("GET /debug/vars", expvar.Handler())
+
+	if *debugAddr != "" {
+		// Operator-only listener: live pprof profiles plus expvar, kept
+		// off the serving port so profiling endpoints are never reachable
+		// by route traffic. http.DefaultServeMux carries the
+		// net/http/pprof registrations from its package init.
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			log.Fatalf("meshd: listen -debug-addr %s: %v", *debugAddr, err)
+		}
+		log.Printf("meshd: debug endpoints (pprof, expvar) on http://%s/debug/", dln.Addr())
+		go func() {
+			if err := http.Serve(dln, http.DefaultServeMux); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("meshd: debug listener: %v", err)
+			}
+		}()
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -70,6 +70,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/journal"
+	"repro/internal/telemetry"
 )
 
 // wire mirrors of the internal/server request/response bodies (meshload
@@ -114,13 +115,14 @@ type tally struct {
 	byCode    map[string]int
 	latencies []time.Duration
 	ok        int
-	leaked    int // transport errors, undecodable bodies, off-taxonomy codes
-	retries   int // 429s retried after backoff
+	leaked    int      // transport errors, undecodable bodies, off-taxonomy codes
+	leakIDs   []string // X-Request-Ids of leaked responses (capped) — grep these in the server's access logs
+	retries   int      // 429s retried after backoff
 	backoff   time.Duration
 	tenant429 map[string]int
 }
 
-func (t *tally) record(code string, latency time.Duration, ok, leak bool) {
+func (t *tally) record(code, reqID string, latency time.Duration, ok, leak bool) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.latencies = append(t.latencies, latency)
@@ -131,6 +133,9 @@ func (t *tally) record(code string, latency time.Duration, ok, leak bool) {
 	}
 	if leak {
 		t.leaked++
+		if len(t.leakIDs) < 16 {
+			t.leakIDs = append(t.leakIDs, reqID+" ("+code+")")
+		}
 	}
 }
 
@@ -527,13 +532,17 @@ func main() {
 				// One logical request: a 429 is retried with backoff (floored
 				// at the server's Retry-After hint) up to -retries times; the
 				// final attempt's outcome and latency are what get recorded.
+				// One X-Request-Id covers every attempt, so a leaked outcome
+				// points straight at its server-side access-log records.
 				// Reads spray uniformly across the cluster (a single-node
 				// run has one target): followers serve the same snapshot
 				// versions the leader published.
 				target := readBases[rng.Intn(len(readBases))]
+				reqID := telemetry.NewRequestID()
 				for attempt := 0; ; attempt++ {
 					hreq, _ := http.NewRequest(http.MethodPost, target+routePath, bytes.NewReader(payload))
 					hreq.Header.Set("Content-Type", "application/json")
+					hreq.Header.Set("X-Request-Id", reqID)
 					if *tenants > 0 {
 						hreq.Header.Set("X-Tenant", tenant)
 					}
@@ -542,18 +551,18 @@ func main() {
 					lat := time.Since(t0)
 					sent.Add(1)
 					if err != nil {
-						t.record("TRANSPORT", lat, false, true)
+						t.record("TRANSPORT", reqID, lat, false, true)
 						break
 					}
 					body, _ := io.ReadAll(resp.Body)
 					resp.Body.Close()
 					if resp.StatusCode == http.StatusOK {
-						t.record("", lat, true, false)
+						t.record("", reqID, lat, true, false)
 						break
 					}
 					var eb errorBody
 					if json.Unmarshal(body, &eb) != nil || eb.Error.Code == "" {
-						t.record(fmt.Sprintf("UNDECODABLE_%d", resp.StatusCode), lat, false, true)
+						t.record(fmt.Sprintf("UNDECODABLE_%d", resp.StatusCode), reqID, lat, false, true)
 						break
 					}
 					code := eb.Error.Code
@@ -570,7 +579,7 @@ func main() {
 					if code == "RESOURCE_EXHAUSTED" {
 						t.record429(tenant)
 					}
-					t.record(code, lat, false, classifyLeak(code, *chaos))
+					t.record(code, reqID, lat, false, classifyLeak(code, *chaos))
 					break
 				}
 			}
@@ -619,6 +628,7 @@ func main() {
 		fmt.Printf("latency: p50 %v  p90 %v  p99 %v  max %v\n",
 			pct(0.50).Round(time.Microsecond), pct(0.90).Round(time.Microsecond),
 			pct(0.99).Round(time.Microsecond), t.latencies[total-1].Round(time.Microsecond))
+		printHistogram(t.latencies)
 	}
 	fmt.Printf("outcomes: %d delivered", t.ok)
 	codes := make([]string, 0, len(t.byCode))
@@ -647,6 +657,8 @@ func main() {
 	}
 	if t.leaked > 0 {
 		fmt.Fprintf(os.Stderr, "meshload: FAIL: %d responses outside the documented taxonomy (transport/undecodable/off-taxonomy codes)\n", t.leaked)
+		fmt.Fprintf(os.Stderr, "meshload: leaked request IDs (grep these in the server's access logs): %s\n",
+			strings.Join(t.leakIDs, ", "))
 		os.Exit(1)
 	}
 	if n := t.byCode["RESOURCE_EXHAUSTED"]; n > 0 && !*chaos {
@@ -656,6 +668,28 @@ func main() {
 	if t.ok == 0 {
 		fmt.Fprintln(os.Stderr, "meshload: FAIL: no request delivered")
 		os.Exit(1)
+	}
+}
+
+// printHistogram renders the end-to-end latency distribution in exactly
+// the bucket boundaries of the server's meshd_walk_latency_seconds
+// histogram (telemetry.LatencyBounds), so a meshload run and a /metrics
+// scrape line up bucket-for-bucket — the client-side histogram is the
+// walk histogram plus network, queueing, and encode overhead.
+func printHistogram(sorted []time.Duration) {
+	bounds := telemetry.LatencyBounds
+	fmt.Printf("histogram (meshd_walk_latency_seconds buckets):\n")
+	prev := 0
+	for _, b := range bounds {
+		le := time.Duration(b * float64(time.Second))
+		i := sort.Search(len(sorted), func(i int) bool { return sorted[i] > le })
+		if i > prev {
+			fmt.Printf("  le=%-8v %7d  (cum %d)\n", le, i-prev, i)
+		}
+		prev = i
+	}
+	if n := len(sorted) - prev; n > 0 {
+		fmt.Printf("  le=+Inf    %7d  (cum %d)\n", n, len(sorted))
 	}
 }
 
@@ -732,8 +766,11 @@ const maxLeaderHops = 3
 // responses with jittered exponential backoff floored at the
 // retry_after_seconds hint. Any other status returns immediately; a
 // transport failure is the error return. stop (may be nil) aborts a
-// pending backoff.
+// pending backoff. One X-Request-Id spans every hop and retry of the
+// logical mutation, so the redirecting follower and the leader log the
+// same ID — grep it once, see the whole path.
 func doMutation(client *http.Client, mt *mutTarget, method, path string, v any, retries int, base time.Duration, rng *rand.Rand, stop <-chan struct{}) (int, string, error) {
+	reqID := telemetry.NewRequestID()
 	hops, attempt := 0, 0
 	for {
 		var rd io.Reader
@@ -745,6 +782,7 @@ func doMutation(client *http.Client, mt *mutTarget, method, path string, v any, 
 		if err != nil {
 			return 0, "", err
 		}
+		req.Header.Set("X-Request-Id", reqID)
 		if v != nil {
 			req.Header.Set("Content-Type", "application/json")
 		}

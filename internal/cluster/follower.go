@@ -15,6 +15,7 @@ import (
 	"time"
 
 	meshroute "repro"
+	"repro/internal/telemetry"
 )
 
 // ErrOutOfSync reports that a replica cannot reach a replicated version
@@ -80,6 +81,12 @@ type TailStats struct {
 	// the stream (events and heartbeats); AppliedVersion lags it by the
 	// replication delay.
 	LeaderVersion uint64
+	// BehindSince is the receipt time of the oldest leader announcement
+	// not yet applied locally: stamped the moment the tail first observes
+	// LeaderVersion ahead of AppliedVersion, cleared when it catches up.
+	// Zero while caught up; its age is the replication lag in wall time
+	// (/varz lag_seconds, /metrics meshd_replication_lag_seconds).
+	BehindSince time.Time
 	// Reconnects counts stream re-establishments (?from= re-resumes).
 	Reconnects uint64
 	// GapsHealed counts full snapshot refetches forced by gap events or
@@ -166,7 +173,7 @@ func (f *Follower) resync(ctx context.Context) {
 			Name string `json:"name"`
 		} `json:"meshes"`
 	}
-	if err := f.getJSON(ctx, "/v1/meshes", &list); err != nil {
+	if err := f.getJSON(ctx, "/v1/meshes", telemetry.NewRequestID(), &list); err != nil {
 		f.cfg.Logf("cluster: list meshes on %s: %v", f.cfg.Leader, err)
 		return
 	}
@@ -219,10 +226,17 @@ func (f *Follower) stopAll() {
 	}
 }
 
-func (f *Follower) getJSON(ctx context.Context, path string, v any) error {
+// getJSON fetches one leader endpoint. reqID, when non-empty, is sent
+// as X-Request-Id so the leader's access log ties the fetch to the
+// replication operation that caused it (a refetch's two reads share
+// one ID).
+func (f *Follower) getJSON(ctx context.Context, path, reqID string, v any) error {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, f.cfg.Leader+path, nil)
 	if err != nil {
 		return err
+	}
+	if reqID != "" {
+		req.Header.Set("X-Request-Id", reqID)
 	}
 	resp, err := f.cfg.Client.Do(req)
 	if err != nil {
@@ -318,18 +332,21 @@ func (t *tail) once(ctx context.Context) error {
 // version the journal tail cannot replay is recovered wholesale, so the
 // replica never publishes a version it did not observe in full.
 func (t *tail) refetch(ctx context.Context) error {
+	// One request ID spans both reads, so the leader's access log shows
+	// the refetch as a single correlated operation.
+	reqID := telemetry.NewRequestID()
 	var info struct {
 		Width  int `json:"width"`
 		Height int `json:"height"`
 	}
-	if err := t.f.getJSON(ctx, "/v1/meshes/"+url.PathEscape(t.name), &info); err != nil {
+	if err := t.f.getJSON(ctx, "/v1/meshes/"+url.PathEscape(t.name), reqID, &info); err != nil {
 		return err
 	}
 	var faults struct {
 		Faults          []meshroute.Coord `json:"faults"`
 		SnapshotVersion uint64            `json:"snapshot_version"`
 	}
-	if err := t.f.getJSON(ctx, "/v1/meshes/"+url.PathEscape(t.name)+"/faults", &faults); err != nil {
+	if err := t.f.getJSON(ctx, "/v1/meshes/"+url.PathEscape(t.name)+"/faults", reqID, &faults); err != nil {
 		return err
 	}
 	if err := t.f.cfg.Replica.UpsertMesh(t.name, info.Width, info.Height, faults.Faults, faults.SnapshotVersion); err != nil {
@@ -340,8 +357,23 @@ func (t *tail) refetch(ctx context.Context) error {
 	if t.stats.LeaderVersion < faults.SnapshotVersion {
 		t.stats.LeaderVersion = faults.SnapshotVersion
 	}
+	t.refreshBehindLocked()
 	t.mu.Unlock()
 	return nil
+}
+
+// refreshBehindLocked keeps the BehindSince stamp honest after any
+// version movement: stamped (from receipt time, time.Now at the event
+// that put us behind) when the tail first trails the leader, cleared
+// the moment it catches up. Callers hold t.mu.
+//
+//meshlint:locked mu
+func (t *tail) refreshBehindLocked() {
+	if t.stats.AppliedVersion >= t.stats.LeaderVersion {
+		t.stats.BehindSince = time.Time{}
+	} else if t.stats.BehindSince.IsZero() {
+		t.stats.BehindSince = time.Now()
+	}
 }
 
 // heal refetches the full snapshot mid-stream (gap event, out-of-sync
@@ -369,6 +401,7 @@ func (t *tail) stream(ctx context.Context) error {
 	if err != nil {
 		return err
 	}
+	req.Header.Set("X-Request-Id", telemetry.NewRequestID())
 	resp, err := t.f.cfg.Client.Do(req)
 	if err != nil {
 		return err
@@ -430,6 +463,7 @@ func (t *tail) stream(ctx context.Context) error {
 			if t.stats.LeaderVersion < ev.Version {
 				t.stats.LeaderVersion = ev.Version
 			}
+			t.refreshBehindLocked() // stamp lag from event receipt
 			t.mu.Unlock()
 			if ev.Version <= applied {
 				continue // duplicate of replayed history or a healed refetch
@@ -443,6 +477,7 @@ func (t *tail) stream(ctx context.Context) error {
 			}
 			t.mu.Lock()
 			t.stats.AppliedVersion = ev.Version
+			t.refreshBehindLocked()
 			t.mu.Unlock()
 		case item.Gap != nil:
 			if err := t.heal(ctx, fmt.Sprintf("gap v%d..v%d", item.Gap.From, item.Gap.To)); err != nil {
@@ -453,6 +488,7 @@ func (t *tail) stream(ctx context.Context) error {
 			if t.stats.LeaderVersion < item.Heartbeat.Version {
 				t.stats.LeaderVersion = item.Heartbeat.Version
 			}
+			t.refreshBehindLocked()
 			t.mu.Unlock()
 		case item.StreamError != nil:
 			if item.StreamError.Code == "MESH_NOT_FOUND" {

@@ -387,6 +387,10 @@ type Result struct {
 	routing.Result
 	// Version identifies the snapshot that served the query.
 	Version uint64
+	// Elapsed is the wall-clock duration of the walk itself — the same
+	// interval a Metrics hook observes — so serving layers can attribute
+	// per-request time to the walk span without wrapping the call.
+	Elapsed time.Duration
 }
 
 // Route routes s -> d with algo on the current snapshot. Safe to call from
@@ -473,19 +477,17 @@ func routeOn(snap *Snapshot, algo routing.Algo, s, d mesh.Coord, opt routing.Opt
 	if borrowed {
 		opt.Scratch = snap.getScratch()
 	}
-	var start time.Time
-	if snap.metrics != nil {
-		start = time.Now()
-	}
+	start := time.Now()
 	res := routing.Route(snap.analysis, algo, s, d, opt)
+	elapsed := time.Since(start)
 	if snap.metrics != nil {
-		snap.metrics.RouteServed(algo, res.Delivered, res.Hops, time.Since(start))
+		snap.metrics.RouteServed(algo, res.Delivered, res.Hops, elapsed)
 	}
 	res.Path = append([]mesh.Coord(nil), res.Path...)
 	if borrowed {
 		snap.putScratch(opt.Scratch)
 	}
-	return Result{Result: res, Version: snap.version}, nil
+	return Result{Result: res, Version: snap.version, Elapsed: elapsed}, nil
 }
 
 // Pair is one source/destination routing request.

@@ -121,6 +121,15 @@ type Options struct {
 	// (internal/errfs, meshd -fail) use it to make the Nth open, write,
 	// fsync, or rename fail and prove the degradation ladder holds.
 	FS errfs.FS
+	// OnAppend, when non-nil, observes every successful Append with the
+	// journaled version and the wall-clock cost of the frame write
+	// (encode + WAL write) and the in-append fsync (zero unless the
+	// policy is FsyncAlways). Serving layers use it to attribute
+	// per-request journal time in timing breakdowns. The hook runs with
+	// the journal's mutex held — appends are version-ordered exactly like
+	// engine OnPublish — so it must return quickly and must not call back
+	// into the journal.
+	OnAppend func(version uint64, write, fsync time.Duration)
 }
 
 // DefaultCheckpointEvery is the compaction interval when
@@ -503,6 +512,7 @@ func (j *Journal) Append(version uint64, adds, repairs []mesh.Coord) error {
 		return j.fail(fmt.Errorf("journal: append version %d after %d (want %d)", version, j.version, j.version+1))
 	}
 	rec := Record{Version: version, Adds: adds, Repairs: repairs}
+	writeStart := time.Now()
 	payload, err := json.Marshal(rec)
 	if err != nil {
 		return j.fail(fmt.Errorf("journal: encode record: %w", err))
@@ -513,10 +523,17 @@ func (j *Journal) Append(version uint64, adds, repairs []mesh.Coord) error {
 	if _, err := j.wal.Write(appendFrame(nil, payload)); err != nil {
 		return j.fail(fmt.Errorf("journal: append: %w", err))
 	}
+	writeDur := time.Since(writeStart)
+	var fsyncDur time.Duration
 	if j.opts.Fsync == FsyncAlways {
+		fsyncStart := time.Now()
 		if err := j.wal.Sync(); err != nil {
 			return j.fail(fmt.Errorf("journal: fsync: %w", err))
 		}
+		fsyncDur = time.Since(fsyncStart)
+	}
+	if j.opts.OnAppend != nil {
+		j.opts.OnAppend(version, writeDur, fsyncDur)
 	}
 	j.version = version
 	j.records++

@@ -7,6 +7,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	meshroute "repro"
 	"repro/internal/cluster"
@@ -176,9 +177,19 @@ func TestFollowerVarzReplication(t *testing.T) {
 	if err != nil {
 		t.Fatalf("marshal: %v", err)
 	}
-	const golden = `{"leader":"http://leader.example:8080","meshes":{"m":{"applied_version":5,"leader_version":7,"version_lag":2,"reconnects":2,"gaps_healed":1,"last_error":"boom"}}}`
+	const golden = `{"leader":"http://leader.example:8080","meshes":{"m":{"applied_version":5,"leader_version":7,"version_lag":2,"lag_seconds":0,"reconnects":2,"gaps_healed":1,"last_error":"boom"}}}`
 	if string(got) != golden {
 		t.Fatalf("replication varz\n got %s\nwant %s", got, golden)
+	}
+
+	// A tail that has been behind since a known instant reports its age.
+	s.SetReplication(func() map[string]cluster.TailStats {
+		return map[string]cluster.TailStats{
+			"m": {AppliedVersion: 5, LeaderVersion: 7, BehindSince: time.Now().Add(-3 * time.Second)},
+		}
+	})
+	if lag := s.Varz().Replication.Meshes["m"].LagSeconds; lag < 2.5 || lag > 60 {
+		t.Fatalf("lag_seconds = %v, want ~3 (age of BehindSince)", lag)
 	}
 
 	// A leader (no SetReplication) must not grow the block.

@@ -1,37 +1,49 @@
 package server
 
 import (
-	"sync/atomic"
 	"time"
 
 	meshroute "repro"
 	"repro/internal/admission"
 	"repro/internal/engine"
 	"repro/internal/routing"
+	"repro/internal/telemetry"
 )
 
 // latencyBounds are the upper bounds (inclusive) of the walk-latency
-// histogram buckets, in microseconds; a final implicit +Inf bucket
-// catches the rest. The range brackets the measured serving profile:
-// warm-scratch RB2 walks on the paper's 100x100/1500-fault mesh run
-// ~0.8ms, small meshes tens of microseconds.
-var latencyBounds = [...]int64{50, 100, 250, 500, 1000, 2500, 5000, 10000, 25000, 50000, 100000}
+// histogram buckets as /varz renders them, in microseconds; a final
+// implicit +Inf bucket catches the rest. They are the microsecond
+// spelling of telemetry.LatencyBounds — /metrics renders the same
+// histogram in seconds — so the two views (and meshload's client-side
+// summary) bucket identically.
+var latencyBounds = microBounds()
 
-// collector accumulates per-mesh serving counters. Its walk-side counters
-// are fed by the engine's Metrics hook (one event per walk, including
-// every batch item), so it must stay allocation-free and lock-free; the
-// HTTP-side error tally is bumped by the handlers.
+func microBounds() []int64 {
+	out := make([]int64, len(telemetry.LatencyBounds))
+	for i, b := range telemetry.LatencyBounds {
+		out[i] = int64(b * 1e6)
+	}
+	return out
+}
+
+// collector accumulates per-mesh serving counters on telemetry
+// instruments. Its walk-side counters are fed by the engine's Metrics
+// hook (one event per walk, including every batch item), so it must
+// stay allocation-free and lock-free; the HTTP-side error tally is
+// bumped by the handlers.
 type collector struct {
-	routes    atomic.Uint64 // walks served (batch items included)
-	delivered atomic.Uint64 // walks that reached the destination
-	hops      atomic.Uint64 // total hops walked, for the mean
-	buckets   [len(latencyBounds) + 1]atomic.Uint64
+	routes    telemetry.Counter // walks served (batch items included)
+	delivered telemetry.Counter // walks that reached the destination
+	hops      telemetry.Counter // total hops walked, for the mean
+	// walk is the walk-latency histogram in seconds; /varz renders it
+	// in microseconds, /metrics natively.
+	walk *telemetry.Histogram
 
 	// httpErrors counts error outcomes by wire code — non-2xx responses
 	// plus per-item errors inside 200 NDJSON batch streams. The code set
 	// is closed (the documented taxonomy), so the map is preallocated and
 	// only its values mutate — safe for concurrent use without a lock.
-	httpErrors map[string]*atomic.Uint64
+	httpErrors map[string]*telemetry.Counter
 }
 
 // errorCodes is every wire code a handler can emit, preallocated in each
@@ -47,28 +59,24 @@ var errorCodes = []string{
 }
 
 func newCollector() *collector {
-	c := &collector{httpErrors: make(map[string]*atomic.Uint64, len(errorCodes))}
+	c := &collector{
+		walk:       telemetry.NewHistogram(telemetry.LatencyBounds),
+		httpErrors: make(map[string]*telemetry.Counter, len(errorCodes)),
+	}
 	for _, code := range errorCodes {
-		c.httpErrors[code] = new(atomic.Uint64)
+		c.httpErrors[code] = new(telemetry.Counter)
 	}
 	return c
 }
 
 // RouteServed implements engine.Metrics.
 func (c *collector) RouteServed(_ routing.Algo, delivered bool, hops int, d time.Duration) {
-	c.routes.Add(1)
+	c.routes.Inc()
 	if delivered {
-		c.delivered.Add(1)
+		c.delivered.Inc()
 		c.hops.Add(uint64(hops))
 	}
-	us := d.Microseconds()
-	i := 0
-	for ; i < len(latencyBounds); i++ {
-		if us <= latencyBounds[i] {
-			break
-		}
-	}
-	c.buckets[i].Add(1)
+	c.walk.ObserveDuration(d)
 }
 
 // countError tallies one error outcome by wire code. Unknown codes
@@ -78,7 +86,7 @@ func (c *collector) countError(code string) {
 	if !ok {
 		ctr = c.httpErrors[CodeInternal]
 	}
-	ctr.Add(1)
+	ctr.Inc()
 }
 
 // LatencyBucket is one cumulative-free histogram bucket of /varz: Count
@@ -112,7 +120,12 @@ type MeshVarz struct {
 	// served hit rate is monotone in the queries actually answered.
 	OracleHits   uint64 `json:"oracle_hits"`
 	OracleMisses uint64 `json:"oracle_misses"`
-	// OracleHitRate is hits/(hits+misses), 0 when the oracle is unused.
+	// OracleSamples is hits+misses — the denominator behind
+	// OracleHitRate, so a 0 rate at 0 samples ("oracle unused") is
+	// distinguishable from a 0 rate over real misses.
+	OracleSamples uint64 `json:"oracle_samples"`
+	// OracleHitRate is hits/samples; 0 (never NaN) when the oracle has
+	// answered no queries yet.
 	OracleHitRate float64 `json:"oracle_hit_rate"`
 	// RebuildCells is the cumulative number of cells the delta-scoped
 	// labeling fixpoint examined across all incremental publications —
@@ -164,6 +177,9 @@ type ReplicaMeshVarz struct {
 	AppliedVersion uint64 `json:"applied_version"`
 	LeaderVersion  uint64 `json:"leader_version"`
 	VersionLag     uint64 `json:"version_lag"`
+	// LagSeconds is how long this mesh has been behind the leader: the
+	// age of the oldest unapplied leader announcement, 0 when caught up.
+	LagSeconds float64 `json:"lag_seconds"`
 	// Reconnects counts watch-stream re-establishments (?from=
 	// re-resumes); GapsHealed counts full snapshot refetches forced by
 	// gap events or out-of-sync deltas.
@@ -198,10 +214,11 @@ type Varz struct {
 // stats and network stats.
 func (c *collector) varz(rs engine.RebuildStats, st meshroute.Stats) *MeshVarz {
 	v := &MeshVarz{
-		Routes:             c.routes.Load(),
-		Delivered:          c.delivered.Load(),
+		Routes:             c.routes.Value(),
+		Delivered:          c.delivered.Value(),
 		OracleHits:         rs.OracleHits,
 		OracleMisses:       rs.OracleMisses,
+		OracleSamples:      rs.OracleHits + rs.OracleMisses,
 		RebuildCells:       rs.RebuildCells,
 		OracleCarried:      rs.OracleCarried,
 		DeltaBuilds:        rs.DeltaBuilds,
@@ -212,22 +229,24 @@ func (c *collector) varz(rs engine.RebuildStats, st meshroute.Stats) *MeshVarz {
 		WatchEventsDropped: st.WatchEventsDropped,
 	}
 	if v.Delivered > 0 {
-		v.MeanHops = float64(c.hops.Load()) / float64(v.Delivered)
+		v.MeanHops = float64(c.hops.Value()) / float64(v.Delivered)
 	}
-	if total := rs.OracleHits + rs.OracleMisses; total > 0 {
-		v.OracleHitRate = float64(rs.OracleHits) / float64(total)
+	if v.OracleSamples > 0 {
+		v.OracleHitRate = float64(rs.OracleHits) / float64(v.OracleSamples)
 	}
-	v.LatencyBuckets = make([]LatencyBucket, len(c.buckets))
-	for i := range c.buckets {
+	buckets := make([]uint64, len(telemetry.LatencyBounds)+1)
+	c.walk.Snapshot(buckets)
+	v.LatencyBuckets = make([]LatencyBucket, len(buckets))
+	for i := range buckets {
 		le := int64(-1)
 		if i < len(latencyBounds) {
 			le = latencyBounds[i]
 		}
-		v.LatencyBuckets[i] = LatencyBucket{LEMicros: le, Count: c.buckets[i].Load()}
+		v.LatencyBuckets[i] = LatencyBucket{LEMicros: le, Count: buckets[i]}
 	}
 	errs := make(map[string]uint64)
 	for code, ctr := range c.httpErrors {
-		if n := ctr.Load(); n > 0 {
+		if n := ctr.Value(); n > 0 {
 			errs[code] = n
 		}
 	}

@@ -15,6 +15,7 @@
 //	GET    /v1/meshes/{name}/watch         fault-event stream   NDJSON of WatchWireItem (?from= resumes)
 //	GET    /healthz                        liveness/drain state -> 200 ("ok") or 503 ("draining")
 //	GET    /varz                           serving counters     -> Varz
+//	GET    /metrics                        Prometheus text exposition (see prom.go)
 //
 // Every non-2xx response is a JSON errorBody whose WireError.Code comes
 // from the v1 taxonomy (meshroute.Code*) or the server codes of wire.go;
@@ -57,6 +58,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"net/http"
 	"os"
@@ -123,6 +125,14 @@ type Config struct {
 	// of the wire. Mutually exclusive with DataDir — follower state is
 	// rebuilt from the leader, not from a local journal.
 	FollowerOf string
+	// Logger, when set, receives one structured access record per
+	// request (and slow-request records, see SlowThreshold) through the
+	// Handler middleware. Nil disables access logging; X-Request-Id
+	// assignment and echo happen regardless.
+	Logger *slog.Logger
+	// SlowThreshold, when > 0, emits a dedicated Warn-level record with
+	// the full span breakdown for requests at or above this duration.
+	SlowThreshold time.Duration
 }
 
 // The Config defaults.
@@ -147,7 +157,11 @@ type meshEntry struct {
 	net     *meshroute.Network
 	metrics *collector
 	journal *journal.Journal // nil without DataDir
-	deleted chan struct{}    // closed when the mesh is unregistered
+	// appendTimes rings the journal's per-version append/fsync timings so
+	// handleFaults can attribute its own commit's journal spans; nil
+	// without a journal.
+	appendTimes *appendSpans
+	deleted     chan struct{} // closed when the mesh is unregistered
 	// resynced is closed when a replica snapshot refetch replaces this
 	// entry wholesale (UpsertMesh over an existing name): its watch
 	// streams terminate with WATCH_CLOSED so consumers re-resume against
@@ -215,6 +229,7 @@ func New(cfg Config) *Server {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /varz", s.handleVarz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("POST /v1/meshes", s.handleCreateMesh)
 	mux.HandleFunc("GET /v1/meshes", s.handleListMeshes)
 	mux.HandleFunc("GET /v1/meshes/{name}", s.handleGetMesh)
@@ -251,7 +266,10 @@ func (s *Server) Recover() (int, error) {
 		}
 		name := d.Name()
 		dir := filepath.Join(s.cfg.DataDir, name)
-		j, st, err := journal.Open(dir, s.cfg.Journal)
+		at := &appendSpans{}
+		jopts := s.cfg.Journal
+		jopts.OnAppend = at.record
+		j, st, err := journal.Open(dir, jopts)
 		if err != nil {
 			if journal.Abandoned(dir) {
 				// The crash window of an interrupted create: no checkpoint
@@ -294,8 +312,10 @@ func publishToJournal(j *journal.Journal) func(uint64, engine.Delta) {
 	}
 }
 
-// Handler returns the server's HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the server's HTTP handler: the API mux behind the
+// access-log middleware (request-ID assignment and echo always; one
+// structured record per request when Config.Logger is set).
+func (s *Server) Handler() http.Handler { return s.accessLog(s.mux) }
 
 // BeginDrain flips /healthz to 503 so load balancers stop sending
 // traffic, without touching in-flight work. Call it the moment shutdown
@@ -349,7 +369,9 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request, e *meshEntry) (re
 	}
 	ctx, cancel := s.requestContext(r)
 	defer cancel()
+	start := time.Now()
 	release, err := s.admission.Admit(ctx, r.Header.Get("X-Tenant"))
+	spanAdd(w, spanAdmission, time.Since(start))
 	if err == nil {
 		return release, true
 	}
@@ -391,9 +413,11 @@ func (s *Server) leaderOnly() (WireError, bool) {
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
+	start := time.Now()
 	enc := json.NewEncoder(w)
 	enc.SetEscapeHTML(false)
 	_ = enc.Encode(v)
+	spanAdd(w, spanEncode, time.Since(start))
 }
 
 // writeError writes the JSON error body for we, counting it against the
@@ -404,6 +428,7 @@ func writeError(w http.ResponseWriter, e *meshEntry, we WireError) {
 	if e != nil {
 		e.metrics.countError(we.Code)
 	}
+	noteCode(w, we.Code)
 	if we.RetryAfterSeconds > 0 {
 		secs := int(math.Ceil(we.RetryAfterSeconds))
 		w.Header().Set("Retry-After", strconv.Itoa(max(1, secs)))
@@ -419,6 +444,8 @@ func badRequest(format string, args ...any) WireError {
 // decodeBody strictly decodes the JSON request body into v: unknown
 // fields, trailing garbage, and oversized bodies are BAD_REQUEST.
 func decodeBody(w http.ResponseWriter, r *http.Request, v any) (WireError, bool) {
+	start := time.Now()
+	defer func() { spanAdd(w, spanDecode, time.Since(start)) }()
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
@@ -525,15 +552,21 @@ func (s *Server) Varz() Varz {
 			Leader: s.cfg.FollowerOf,
 			Meshes: make(map[string]ReplicaMeshVarz, len(entries)),
 		}
+		now := time.Now()
 		for name, ts := range stats() {
 			var lag uint64
 			if ts.LeaderVersion > ts.AppliedVersion {
 				lag = ts.LeaderVersion - ts.AppliedVersion
 			}
+			var lagSecs float64
+			if !ts.BehindSince.IsZero() {
+				lagSecs = now.Sub(ts.BehindSince).Seconds()
+			}
 			rv.Meshes[name] = ReplicaMeshVarz{
 				AppliedVersion: ts.AppliedVersion,
 				LeaderVersion:  ts.LeaderVersion,
 				VersionLag:     lag,
+				LagSeconds:     lagSecs,
 				Reconnects:     ts.Reconnects,
 				GapsHealed:     ts.GapsHealed,
 				LastError:      ts.LastError,
@@ -601,9 +634,13 @@ func (s *Server) handleCreateMesh(w http.ResponseWriter, r *http.Request) {
 		Metrics:     metrics,
 	}
 	var j *journal.Journal
+	var at *appendSpans
 	if s.cfg.DataDir != "" {
 		var err error
-		j, err = journal.Create(filepath.Join(s.cfg.DataDir, req.Name), req.Width, req.Height, s.cfg.Journal)
+		at = &appendSpans{}
+		jopts := s.cfg.Journal
+		jopts.OnAppend = at.record
+		j, err = journal.Create(filepath.Join(s.cfg.DataDir, req.Name), req.Width, req.Height, jopts)
 		if err != nil {
 			s.reg.release(req.Name)
 			// With the name reserved, an existing directory here is
@@ -618,7 +655,7 @@ func (s *Server) handleCreateMesh(w http.ResponseWriter, r *http.Request) {
 		opts.OnPublish = publishToJournal(j)
 	}
 	net := meshroute.NewWithEngineOptions(req.Width, req.Height, opts)
-	e := &meshEntry{name: req.Name, net: net, metrics: metrics, journal: j, deleted: make(chan struct{})}
+	e := &meshEntry{name: req.Name, net: net, metrics: metrics, journal: j, appendTimes: at, deleted: make(chan struct{})}
 	s.reg.commit(e)
 	writeJSON(w, http.StatusCreated, s.meshInfo(e, false))
 }
@@ -784,6 +821,8 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 		writeError(w, e, wireError(err))
 		return
 	}
+	spanAdd(w, spanWalk, resp.WalkDuration)
+	spanAdd(w, spanOracle, resp.OracleDuration)
 	writeJSON(w, http.StatusOK, toWireResponse(resp))
 }
 
@@ -855,8 +894,15 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		} else {
 			resp := toWireResponse(item.Response)
 			line.Response = &resp
+			// Batch spans accumulate across items: the breakdown reports
+			// total walk/oracle time of the whole stream.
+			spanAdd(w, spanWalk, item.Response.WalkDuration)
+			spanAdd(w, spanOracle, item.Response.OracleDuration)
 		}
-		if err := enc.Encode(line); err != nil {
+		encStart := time.Now()
+		err := enc.Encode(line)
+		spanAdd(w, spanEncode, time.Since(encStart))
+		if err != nil {
 			// The client is gone; stop the workers and bail.
 			return
 		}
@@ -916,6 +962,7 @@ func (s *Server) handleFaults(w http.ResponseWriter, r *http.Request) {
 	// One Apply per request: every op stages on the same transaction, so
 	// the whole POST publishes exactly one snapshot or rolls back whole.
 	var failedOp int
+	applyStart := time.Now()
 	version, err := e.net.ApplyVersion(func(tx *meshroute.Tx) error {
 		for i, op := range req.Ops {
 			if err := applyOp(tx, op); err != nil {
@@ -925,6 +972,18 @@ func (s *Server) handleFaults(w http.ResponseWriter, r *http.Request) {
 		}
 		return nil
 	})
+	applyDur := time.Since(applyStart)
+	if e.appendTimes != nil {
+		// The journal appended our version inside the apply (the publish
+		// hook runs in the writer critical section); split its share out
+		// of the apply span so the breakdown attributes disk time to disk.
+		if jw, jf, ok := e.appendTimes.lookup(version); ok {
+			spanAdd(w, spanJournalAppend, jw)
+			spanAdd(w, spanJournalFsync, jf)
+			applyDur -= jw + jf
+		}
+	}
+	spanAdd(w, spanApply, max(applyDur, 0))
 	if err != nil {
 		var we WireError
 		var bad opError

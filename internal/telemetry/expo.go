@@ -1,0 +1,193 @@
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ContentType is the HTTP Content-Type for the text exposition format.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// An Exposition accumulates metric families and renders them in the
+// Prometheus text format. It is a builder, not a store: serving layers
+// construct one per scrape, emit current instrument values into it, and
+// write the result. Within a family, series render in the order added
+// (callers emit per-mesh loops in sorted order for determinism); the
+// families themselves render in the order first declared.
+//
+// Expositions are not safe for concurrent use; instruments are — one
+// goroutine builds the scrape while others keep incrementing.
+type Exposition struct {
+	order    []string
+	families map[string]*family
+}
+
+type family struct {
+	help  string
+	typ   string // "counter", "gauge", "histogram"
+	lines []string
+}
+
+// NewExposition returns an empty exposition.
+func NewExposition() *Exposition {
+	return &Exposition{families: make(map[string]*family)}
+}
+
+// Labels is an ordered label set. Order is preserved in output so
+// golden scrapes are byte-stable; keys must be valid Prometheus label
+// names (callers pass literals).
+type Labels []Label
+
+// Label is one name/value pair.
+type Label struct{ Name, Value string }
+
+// L is shorthand for constructing a Label.
+func L(name, value string) Label { return Label{Name: name, Value: value} }
+
+func (e *Exposition) fam(name, help, typ string) *family {
+	f, ok := e.families[name]
+	if !ok {
+		f = &family{help: help, typ: typ}
+		e.families[name] = f
+		e.order = append(e.order, name)
+	}
+	return f
+}
+
+// Counter emits one counter series.
+func (e *Exposition) Counter(name, help string, labels Labels, v uint64) {
+	f := e.fam(name, help, "counter")
+	f.lines = append(f.lines, series(name, "", labels, "")+formatUint(v))
+}
+
+// Gauge emits one gauge series.
+func (e *Exposition) Gauge(name, help string, labels Labels, v float64) {
+	f := e.fam(name, help, "gauge")
+	f.lines = append(f.lines, series(name, "", labels, "")+formatFloat(v))
+}
+
+// Histogram emits one histogram series (cumulative _bucket lines with
+// le labels, then _sum and _count) from a live Histogram.
+func (e *Exposition) Histogram(name, help string, labels Labels, h *Histogram) {
+	var counts [maxBuckets]uint64
+	bounds := h.Bounds()
+	count, sum := h.Snapshot(counts[:len(bounds)+1])
+	f := e.fam(name, help, "histogram")
+	var cum uint64
+	for i, b := range bounds {
+		cum += counts[i]
+		f.lines = append(f.lines,
+			series(name, "_bucket", labels, formatFloat(b))+formatUint(cum))
+	}
+	cum += counts[len(bounds)]
+	f.lines = append(f.lines, series(name, "_bucket", labels, "+Inf")+formatUint(cum))
+	f.lines = append(f.lines, series(name, "_sum", labels, "")+formatFloat(sum))
+	f.lines = append(f.lines, series(name, "_count", labels, "")+formatUint(count))
+}
+
+// String renders the accumulated families. Families render in
+// declaration order with one # HELP and # TYPE header each.
+func (e *Exposition) String() string {
+	var b strings.Builder
+	for _, name := range e.order {
+		f := e.families[name]
+		b.WriteString("# HELP ")
+		b.WriteString(name)
+		b.WriteByte(' ')
+		b.WriteString(f.help)
+		b.WriteByte('\n')
+		b.WriteString("# TYPE ")
+		b.WriteString(name)
+		b.WriteByte(' ')
+		b.WriteString(f.typ)
+		b.WriteByte('\n')
+		for _, ln := range f.lines {
+			b.WriteString(ln)
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// series renders `name[suffix]{labels,le="bound"} ` — everything up to
+// the value.
+func series(name, suffix string, labels Labels, le string) string {
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteString(suffix)
+	if len(labels) > 0 || le != "" {
+		b.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(l.Name)
+			b.WriteString(`="`)
+			b.WriteString(escapeLabel(l.Value))
+			b.WriteByte('"')
+		}
+		if le != "" {
+			if len(labels) > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(`le="`)
+			b.WriteString(le)
+			b.WriteByte('"')
+		}
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the exposition format:
+// backslash, double-quote, and newline.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+func formatUint(v uint64) string { return strconv.FormatUint(v, 10) }
+
+// formatFloat renders the shortest round-trippable decimal; NaN and
+// infinities use the exposition spellings.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// SortedKeys returns the keys of m in sorted order — the helper every
+// scrape loop uses to render map-backed series (tenants, meshes)
+// deterministically.
+func SortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

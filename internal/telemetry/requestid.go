@@ -1,0 +1,45 @@
+package telemetry
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// reqIDFallback disambiguates fallback IDs if crypto/rand ever fails.
+var reqIDFallback atomic.Uint64
+
+// NewRequestID returns a fresh 16-hex-character request ID — the value
+// generated at ingress for X-Request-Id when a request arrives without
+// one, and by clients (meshload, cluster.Follower) that originate a
+// multi-hop operation whose hops should share one ID.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// Entropy exhaustion is effectively unreachable; degrade to a
+		// time+counter ID rather than failing the request over telemetry.
+		return strconv.FormatUint(uint64(time.Now().UnixNano())^reqIDFallback.Add(1), 16)
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// ValidRequestID reports whether a caller-supplied X-Request-Id is safe
+// to echo and log: 1..128 characters drawn from a log- and header-safe
+// alphabet. Anything else is replaced at ingress rather than propagated.
+func ValidRequestID(id string) bool {
+	if len(id) == 0 || len(id) > 128 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '-' || c == '_' || c == '.' || c == ':':
+		default:
+			return false
+		}
+	}
+	return true
+}

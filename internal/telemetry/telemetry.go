@@ -1,0 +1,148 @@
+// Package telemetry is the zero-dependency metrics substrate behind
+// meshd's Prometheus /metrics endpoint: counter/gauge/histogram
+// instruments whose hot-path operations are atomic and allocation-free
+// (they honor the //meshlint:hotpath contract, so the engine's metrics
+// hook can increment them on the zero-alloc route path), plus a text
+// exposition writer and a pull registry (expo.go).
+//
+// The package deliberately implements only what the repo needs of the
+// Prometheus exposition format (version 0.0.4): counters, gauges, and
+// cumulative histograms with HELP/TYPE headers, label escaping, and
+// deterministic ordering — no client_golang dependency, no push, no
+// timestamps (scrape time is the timestamp, which also keeps golden
+// tests byte-stable).
+//
+// Instruments are plain structs safe for concurrent use. Serving layers
+// own their lifecycle (e.g. one set per registered mesh) and emit them
+// into an Exposition at scrape time; nothing here holds global state.
+package telemetry
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing counter. The zero value is
+// ready to use.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+//
+//meshlint:hotpath
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+//
+//meshlint:hotpath
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down, stored as float64 bits.
+// The zero value is ready to use and reads 0.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+//
+//meshlint:hotpath
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the stored value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// LatencyBounds is the canonical request-latency histogram layout, in
+// seconds: 50µs to 100ms upper bounds bracketing the measured serving
+// profile (warm-scratch RB2 walks on the paper's 100x100/1500-fault
+// mesh run ~0.8ms; small meshes tens of microseconds), plus the
+// implicit +Inf overflow bucket. The server's walk histogram and
+// meshload's client-side summary both use it, so load-generator output
+// and server telemetry are directly comparable bucket by bucket.
+var LatencyBounds = []float64{
+	50e-6, 100e-6, 250e-6, 500e-6,
+	1e-3, 2.5e-3, 5e-3, 10e-3, 25e-3, 50e-3, 100e-3,
+}
+
+// maxBuckets bounds histogram layouts; LatencyBounds plus +Inf fits
+// with room for coarser custom layouts.
+const maxBuckets = 32
+
+// Histogram is a cumulative-on-render histogram over fixed upper
+// bounds. Observations are atomic and allocation-free; the Prometheus
+// _bucket/_sum/_count triplet is derived at scrape time. Construct with
+// NewHistogram — the zero value has no buckets.
+type Histogram struct {
+	bounds []float64 // immutable after construction, ascending
+	// buckets[i] counts observations in (bounds[i-1], bounds[i]];
+	// buckets[len(bounds)] is the +Inf overflow. Counts are per-bucket
+	// (not cumulative) so one observation touches one slot.
+	buckets [maxBuckets]atomic.Uint64
+	// sumBits accumulates the observation sum as float64 bits (CAS loop:
+	// atomic and allocation-free, no mutex on the hot path).
+	sumBits atomic.Uint64
+}
+
+// NewHistogram returns a histogram over the given ascending upper
+// bounds (a final +Inf bucket is implicit). It panics on an empty,
+// oversized, or unsorted layout — layouts are code, not input.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 || len(bounds) >= maxBuckets {
+		panic("telemetry: histogram needs 1..31 finite bounds")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("telemetry: histogram bounds must ascend")
+		}
+	}
+	return &Histogram{bounds: bounds}
+}
+
+// Observe records one observation.
+//
+//meshlint:hotpath
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for ; i < len(h.bounds); i++ {
+		if v <= h.bounds[i] {
+			break
+		}
+	}
+	h.buckets[i].Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records d in seconds.
+//
+//meshlint:hotpath
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Bounds returns the finite upper bounds (no +Inf entry). Read-only.
+func (h *Histogram) Bounds() []float64 { return h.bounds }
+
+// Snapshot copies the per-bucket counts into dst (which must hold
+// len(Bounds())+1 entries, the last being +Inf) and returns the total
+// count and sum. A snapshot taken concurrently with observations is a
+// consistent-enough scrape: each slot is read atomically, so counts
+// never tear, though a scrape may straddle an in-flight observation
+// (count and sum each monotone regardless).
+func (h *Histogram) Snapshot(dst []uint64) (count uint64, sum float64) {
+	n := len(h.bounds) + 1
+	_ = dst[n-1]
+	for i := 0; i < n; i++ {
+		c := h.buckets[i].Load()
+		dst[i] = c
+		count += c
+	}
+	return count, math.Float64frombits(h.sumBits.Load())
+}

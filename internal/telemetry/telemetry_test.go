@@ -1,0 +1,141 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	var g Gauge
+	if got := g.Value(); got != 0 {
+		t.Fatalf("zero gauge = %v, want 0", got)
+	}
+	g.Set(-2.5)
+	if got := g.Value(); got != -2.5 {
+		t.Fatalf("gauge = %v, want -2.5", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.1, 0.5, 2, 100} {
+		h.Observe(v)
+	}
+	var counts [4]uint64
+	count, sum := h.Snapshot(counts[:])
+	if count != 5 {
+		t.Fatalf("count = %d, want 5", count)
+	}
+	if want := 0.05 + 0.1 + 0.5 + 2 + 100; sum != want {
+		t.Fatalf("sum = %v, want %v", sum, want)
+	}
+	// 0.05 and 0.1 land in (−∞,0.1] (le is inclusive), 0.5 in (0.1,1],
+	// 2 in (1,10], 100 overflows to +Inf.
+	want := [4]uint64{2, 1, 1, 1}
+	if counts != want {
+		t.Fatalf("buckets = %v, want %v", counts, want)
+	}
+}
+
+func TestHistogramLayoutValidation(t *testing.T) {
+	for _, bounds := range [][]float64{nil, {}, {1, 1}, {2, 1}, make([]float64, maxBuckets)} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewHistogram(%v) did not panic", bounds)
+				}
+			}()
+			NewHistogram(bounds)
+		}()
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram(LatencyBounds)
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.ObserveDuration(time.Duration(i) * time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	counts := make([]uint64, len(LatencyBounds)+1)
+	count, _ := h.Snapshot(counts)
+	if count != workers*per {
+		t.Fatalf("count = %d, want %d", count, workers*per)
+	}
+}
+
+func TestExpositionFormat(t *testing.T) {
+	e := NewExposition()
+	e.Counter("meshd_routes_total", "Routes served.", Labels{L("mesh", "demo")}, 7)
+	e.Counter("meshd_routes_total", "Routes served.", Labels{L("mesh", "other")}, 1)
+	e.Gauge("meshd_faults", "Current fault count.", Labels{L("mesh", "demo")}, 3)
+	h := NewHistogram([]float64{0.5, 1})
+	h.Observe(0.2)
+	h.Observe(2)
+	e.Histogram("meshd_walk_latency_seconds", "Walk latency.", Labels{L("mesh", "demo")}, h)
+	got := e.String()
+	want := `# HELP meshd_routes_total Routes served.
+# TYPE meshd_routes_total counter
+meshd_routes_total{mesh="demo"} 7
+meshd_routes_total{mesh="other"} 1
+# HELP meshd_faults Current fault count.
+# TYPE meshd_faults gauge
+meshd_faults{mesh="demo"} 3
+# HELP meshd_walk_latency_seconds Walk latency.
+# TYPE meshd_walk_latency_seconds histogram
+meshd_walk_latency_seconds_bucket{mesh="demo",le="0.5"} 1
+meshd_walk_latency_seconds_bucket{mesh="demo",le="1"} 1
+meshd_walk_latency_seconds_bucket{mesh="demo",le="+Inf"} 2
+meshd_walk_latency_seconds_sum{mesh="demo"} 2.2
+meshd_walk_latency_seconds_count{mesh="demo"} 2
+`
+	if got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestExpositionUnlabeledAndEscaping(t *testing.T) {
+	e := NewExposition()
+	e.Gauge("meshd_uptime_seconds", "Uptime.", nil, 1.5)
+	e.Counter("weird", "Escapes.", Labels{L("v", "a\"b\\c\nd")}, 1)
+	got := e.String()
+	if !strings.Contains(got, "meshd_uptime_seconds 1.5\n") {
+		t.Fatalf("unlabeled gauge rendered wrong:\n%s", got)
+	}
+	if !strings.Contains(got, `weird{v="a\"b\\c\nd"} 1`) {
+		t.Fatalf("label escaping wrong:\n%s", got)
+	}
+}
+
+// The instruments back the engine's per-route metrics hook; their write
+// operations must stay allocation-free or the warm route path loses its
+// zero-alloc guarantee.
+func TestInstrumentAllocs(t *testing.T) {
+	var c Counter
+	var g Gauge
+	h := NewHistogram(LatencyBounds)
+	if n := testing.AllocsPerRun(200, func() {
+		c.Inc()
+		c.Add(2)
+		g.Set(1.25)
+		h.Observe(0.0007)
+		h.ObserveDuration(700 * time.Microsecond)
+	}); n != 0 {
+		t.Fatalf("instrument ops allocate %.1f times per run, want 0", n)
+	}
+}

@@ -73,6 +73,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/engine"
 	"repro/internal/fault"
@@ -275,6 +276,12 @@ type RouteResponse struct {
 	SnapshotVersion uint64
 	// Oracle carries the BFS comparison; nil when WithoutOracle was set.
 	Oracle *OracleReport
+	// WalkDuration is the wall-clock cost of the routing walk itself;
+	// OracleDuration that of the BFS-oracle comparison (zero when
+	// WithoutOracle was set). Serving layers surface them as the walk and
+	// oracle spans of per-request timing breakdowns.
+	WalkDuration   time.Duration
+	OracleDuration time.Duration
 }
 
 // Route routes one request on the published fault configuration. It fails
@@ -300,8 +307,11 @@ func (n *Network) Route(ctx context.Context, req RouteRequest, opts ...RouteOpti
 // one BFS field instead of recomputing an O(nodes) search per pair.
 func finishResponse(snap *engine.Snapshot, cfg routeConfig, s, d Coord, res engine.Result) (RouteResponse, error) {
 	optimal := int32(-1)
+	var oracleDur time.Duration
 	if cfg.oracle {
+		oracleStart := time.Now()
 		optimal = snap.Oracle().Dist(s, d)
+		oracleDur = time.Since(oracleStart)
 		if optimal >= spath.Infinite {
 			return RouteResponse{}, fmt.Errorf("meshroute: %v unreachable from %v: %w", d, s, ErrUnreachable)
 		}
@@ -321,14 +331,19 @@ func finishResponse(snap *engine.Snapshot, cfg routeConfig, s, d Coord, res engi
 		WallFlips:       res.WallFlips,
 		Downgraded:      res.Downgraded,
 		SnapshotVersion: res.Version,
+		WalkDuration:    res.Elapsed,
 	}
 	if cfg.oracle {
+		manhattanStart := time.Now()
+		feasible := spath.ManhattanReachable(snap.Faults(), s, d)
+		oracleDur += time.Since(manhattanStart)
 		resp.Oracle = &OracleReport{
 			Optimal:           int(optimal),
 			Shortest:          res.Hops == int(optimal),
-			ManhattanFeasible: spath.ManhattanReachable(snap.Faults(), s, d),
+			ManhattanFeasible: feasible,
 		}
 	}
+	resp.OracleDuration = oracleDur
 	return resp, nil
 }
 
